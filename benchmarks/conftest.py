@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one figure/table of the paper at
+``BENCH_SCALE`` of the Table 3 input sizes (the shapes are stable in
+scale; full-size runs are possible by exporting ``REPRO_BENCH_SCALE=1``).
+Each benchmark prints the reproduced rows so the output can be compared
+against the paper side by side, and records the wall-clock cost of the
+whole experiment via pytest-benchmark.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+    from repro.harness.report import render
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        print()
+        print(render(result))
+        return result
+
+    return _run

@@ -1,0 +1,83 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Linked CSR node size** — smaller nodes give finer placement but more
+   pointer chasing; the paper's one-cache-line node (14 edges) balances
+   both (paper §5.3 amortization argument).
+2. **Interleave-pool granularity** — restricting pools to 4 KiB emulates
+   page-granularity D-NUCA placement, which the paper's Fig 6 argues is
+   insufficient for irregular data.
+3. **Data-structure co-design** — affinity allocation *without* the
+   Linked CSR (plain CSR arrays) and *without* the spatial queue isolates
+   how much of Fig 12's win comes from the co-designed structures
+   (paper: "it is critical to codesign the data structure").
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.nsc.engine import EngineMode
+from repro.perf.compare import speedup
+from repro.workloads import run_workload
+
+SCALE = 0.12
+
+
+class TestNodeSizeAblation:
+    def test_cache_line_nodes_are_good(self, benchmark):
+        def run():
+            return {nb: run_workload("pr_push", EngineMode.AFF_ALLOC,
+                                     scale=SCALE, node_bytes=nb)
+                    for nb in (64, 128, 256)}
+        runs = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nLinked CSR node size ablation (pr_push, Aff-Alloc):")
+        for nb, r in runs.items():
+            print(f"  node {nb:>4}B: cycles={r.cycles:>12,.0f} "
+                  f"hops={r.total_flit_hops:>12,.0f}")
+        # all node sizes must stay in the same ballpark; the default is
+        # within 30% of the best
+        best = min(r.cycles for r in runs.values())
+        assert runs[64].cycles <= 1.3 * best
+
+
+class TestPoolGranularityAblation:
+    def test_page_only_pools_lose_most_benefit(self, benchmark):
+        """Fig 6's point: page-granularity placement is insufficient."""
+        def run():
+            fine = run_workload("pr_push", EngineMode.AFF_ALLOC, scale=SCALE)
+            coarse_cfg = DEFAULT_CONFIG.scaled(pool_interleaves=(4096,))
+            coarse = run_workload("pr_push", EngineMode.AFF_ALLOC,
+                                  scale=SCALE, config=coarse_cfg)
+            near = run_workload("pr_push", EngineMode.NEAR_L3, scale=SCALE)
+            return fine, coarse, near
+        fine, coarse, near = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nPool granularity (pr_push): fine={speedup(near, fine):.2f}x "
+              f"page-only={speedup(near, coarse):.2f}x over Near-L3")
+        assert speedup(near, fine) > speedup(near, coarse)
+        assert fine.total_flit_hops < coarse.total_flit_hops
+
+
+class TestCoDesignAblation:
+    def test_linked_csr_contributes(self, benchmark):
+        def run():
+            with_l = run_workload("pr_push", EngineMode.AFF_ALLOC, scale=SCALE)
+            without = run_workload("pr_push", EngineMode.AFF_ALLOC,
+                                   scale=SCALE, use_linked=False)
+            return with_l, without
+        with_l, without = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nLinked CSR co-design (pr_push): with={with_l.cycles:,.0f} "
+              f"without={without.cycles:,.0f} cycles")
+        assert with_l.total_flit_hops < without.total_flit_hops
+
+    def test_spatial_queue_contributes(self, benchmark):
+        def run():
+            with_q = run_workload("bfs_push", EngineMode.AFF_ALLOC,
+                                  scale=SCALE)
+            without = run_workload("bfs_push", EngineMode.AFF_ALLOC,
+                                   scale=SCALE, spatial_queue=False)
+            return with_q, without
+        with_q, without = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nSpatial queue co-design (bfs_push): "
+              f"with={with_q.cycles:,.0f} without={without.cycles:,.0f}")
+        assert with_q.total_flit_hops <= without.total_flit_hops

@@ -1,0 +1,20 @@
+"""Fig 4: vec-add speedup & NoC hops vs forwarding Δ-bank distance.
+
+Paper shape: NDC always beats In-Core; performance swings 1.1x..7.2x with
+the layout; Random achieves a fraction of aligned performance.
+"""
+
+from repro.harness import fig4_vecadd_delta
+
+
+def test_fig4(run_experiment):
+    res = run_experiment(fig4_vecadd_delta, deltas=tuple(range(0, 68, 4)),
+                         n=1 << 19)
+    rows = {r[0]: r for r in res.rows()}
+    aligned = rows["Δ Bank 0"][1]
+    worst = min(r[1] for r in res.rows() if r[0].startswith("Δ"))
+    assert aligned > 3.0
+    assert worst >= 1.0                      # NDC never loses to In-Core
+    assert aligned / worst > 2.5             # strong layout sensitivity
+    assert rows["Random"][1] < aligned       # random is sub-optimal
+    assert rows["Δ Bank 0"][2] < rows["Random"][2]  # traffic ordering

@@ -1,0 +1,22 @@
+"""Fig 6: irregular-layout limit study — remap edge chunks near their
+destination vertices (<=2% load imbalance).
+
+Paper shape: finer chunks monotonically improve speedup and cut traffic;
+64B chunks give a large traffic cut; Ind-Ideal removes indirect traffic.
+"""
+
+from repro.harness import fig6_chunk_remap
+
+
+def test_fig6(run_experiment, bench_scale):
+    res = run_experiment(fig6_chunk_remap,
+                         workloads=("pr_push", "bfs_push", "sssp"),
+                         scale=bench_scale)
+    gm = res.rows()[-1]
+    base, k4, k1, b256, b64, ideal = gm[1:7]
+    assert base == 1.0
+    assert k4 <= k1 <= b256 <= b64 <= ideal
+    assert ideal > 1.5
+    # traffic of 64B chunks well below Base for every workload
+    for row in res.rows()[:-1]:
+        assert row[11] < 0.8 * row[7]

@@ -1,0 +1,26 @@
+"""Fig 12: the headline result — In-Core vs Near-L3 vs Aff-Alloc on all
+ten Table 3 workloads.
+
+Paper: Aff-Alloc achieves 2.26x speedup and 1.76x energy efficiency over
+Near-L3 with 72% traffic reduction (and 7.53x / 4.69x over In-Core).
+"""
+
+from repro.harness import fig12_overall
+from repro.harness.experiments import FIG12_WORKLOADS
+
+
+def test_fig12(run_experiment, bench_scale):
+    res = run_experiment(fig12_overall, workloads=FIG12_WORKLOADS,
+                         scale=bench_scale)
+    gm = res.rows()[-1]
+    speedup_aff = gm[2]
+    energy_aff = gm[4]
+    traffic_near, traffic_aff = gm[5], gm[6]
+    # shape targets (paper values in comments)
+    assert speedup_aff > 1.5          # 2.26x
+    assert energy_aff > 1.3           # 1.76x
+    assert traffic_aff < 0.5 * traffic_near   # 72% cut vs Near-L3
+    assert traffic_aff < 0.35         # 87% cut vs In-Core
+    # Aff-Alloc beats Near-L3 on every single workload
+    for row in res.rows()[:-1]:
+        assert row[2] > 0.95, row

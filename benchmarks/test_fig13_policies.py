@@ -1,0 +1,25 @@
+"""Fig 13: bank-select policy sensitivity on the irregular workloads.
+
+Paper shape: Rnd ~ Lnr (oblivious); Min-Hop wins on affinity but is
+pathological on bin_tree (whole tree in one bank); Hybrid-H avoids the
+pathology and wins overall, with Hybrid-5 the default.
+"""
+
+from repro.harness import fig13_policies
+from repro.harness.experiments import FIG13_POLICIES, FIG13_WORKLOADS
+
+
+def test_fig13(run_experiment, bench_scale):
+    res = run_experiment(fig13_policies, workloads=FIG13_WORKLOADS,
+                         policies=FIG13_POLICIES, scale=bench_scale)
+    rows = {r[0]: r for r in res.rows()}
+    cols = {p: i + 1 for i, p in enumerate(FIG13_POLICIES)}
+    # Min-Hop collapses the tree onto one bank
+    assert rows["bin_tree"][cols["Min-Hop"]] < 0.6
+    # Hybrid-5 avoids it and beats Rnd everywhere
+    for wl in FIG13_WORKLOADS:
+        assert rows[wl][cols["Hybrid-5"]] > 0.95, wl
+    gm = rows["geomean"]
+    hybrid_best = max(gm[cols[f"Hybrid-{h}"]] for h in (1, 3, 5, 7))
+    assert hybrid_best == max(gm[1:])
+    assert gm[cols["Hybrid-5"]] > 1.2

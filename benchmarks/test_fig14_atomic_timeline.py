@@ -1,0 +1,30 @@
+"""Fig 14: distribution of in-flight atomic streams per L3 bank during
+bfs_push, for Rnd vs Min-Hop vs Hybrid-5.
+
+Paper shape: Rnd keeps the most streams in flight (long indirect trips);
+Hybrid-5 balances load better than Min-Hop (higher 25% line).
+"""
+
+import numpy as np
+
+from repro.harness import fig14_atomic_timeline
+
+
+def test_fig14(run_experiment, bench_scale):
+    res = run_experiment(fig14_atomic_timeline,
+                         policies=("Rnd", "Min-Hop", "Hybrid-5"),
+                         scale=bench_scale)
+
+    def series(pol, col):
+        return [r[col] for r in res.rows() if r[0] == pol]
+
+    # Little's-law occupancy: Rnd's longer trips keep more in flight
+    assert max(series("Rnd", 4)) > max(series("Hybrid-5", 4))
+    # Hybrid-5 balances better than Min-Hop: its busiest phase has a
+    # higher 25th percentile relative to its own max
+    def balance(pol):
+        peaks = series(pol, 6)
+        p25 = series(pol, 3)
+        i = int(np.argmax(peaks))
+        return p25[i] / peaks[i] if peaks[i] else 0.0
+    assert balance("Hybrid-5") >= balance("Min-Hop")

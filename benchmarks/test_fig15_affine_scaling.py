@@ -1,0 +1,32 @@
+"""Fig 15: affine workloads at 1x/2x/4x/8x input sizes.
+
+Paper shape: the benefit drops sharply once the working set exceeds the
+LLC (>75% miss at 8x); both configurations become DRAM-bound.
+
+The LLC is shrunk proportionally to the benchmark scale so the capacity
+cliff lands at the same relative multiplier as the paper's full-size run.
+"""
+
+import dataclasses
+
+from repro.config import DEFAULT_CONFIG
+from repro.harness import fig15_affine_scaling
+
+
+def test_fig15(run_experiment, bench_scale):
+    cfg = DEFAULT_CONFIG.scaled(cache=dataclasses.replace(
+        DEFAULT_CONFIG.cache,
+        bank_capacity_bytes=max(int((1 << 20) * bench_scale), 4096)))
+    res = run_experiment(fig15_affine_scaling,
+                         workloads=("pathfinder", "hotspot", "srad",
+                                    "hotspot3D"),
+                         multipliers=(1, 2, 4, 8), scale=bench_scale,
+                         config=cfg)
+    gms = {r[1]: r[2] for r in res.rows() if r[0] == "geomean"}
+    assert gms["1x"] > gms["8x"]          # benefit shrinks
+    # miss rate climbs with input size for every workload
+    for wl in ("pathfinder", "hotspot", "srad", "hotspot3D"):
+        misses = [r[3] for r in res.rows() if r[0] == wl]
+        assert misses[-1] >= misses[0]
+    big_miss = [r[3] for r in res.rows() if r[0] != "geomean" and r[1] == "8x"]
+    assert max(big_miss) > 50.0           # paper: >75% at 8x

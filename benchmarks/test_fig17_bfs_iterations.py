@@ -1,0 +1,24 @@
+"""Fig 17: BFS per-iteration characteristics on the Kronecker input.
+
+Paper shape: visited ratio is monotone; the active-node and scout-edge
+waves peak in the middle iterations (the reason direction switching
+exists).
+"""
+
+import numpy as np
+
+from repro.harness import fig17_bfs_iterations
+
+
+def test_fig17(run_experiment, bench_scale):
+    res = run_experiment(fig17_bfs_iterations, scale=bench_scale)
+    rows = res.rows()
+    assert len(rows) >= 3
+    visited = [r[1] for r in rows]
+    assert all(b >= a for a, b in zip(visited, visited[1:]))
+    assert visited[-1] > 0.5          # the giant component is reached
+    actives = [r[2] for r in rows]
+    scouts = [r[3] for r in rows]
+    peak = int(np.argmax(actives))
+    assert 0 < peak < len(rows) - 1   # middle-iteration wave
+    assert max(scouts) > 0.3          # scout edges spike before the wave

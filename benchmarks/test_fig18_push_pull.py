@@ -1,0 +1,25 @@
+"""Fig 18: BFS push vs pull vs direction-switching timelines per engine.
+
+Paper shape: In-Core favors pulling in the middle iterations (coherence
+misses on contended vertices); NDC's cheap remote atomics shift the
+tradeoff toward pushing, so Aff-Alloc pushes in (almost) every iteration.
+"""
+
+from repro.harness import fig18_push_pull_timeline
+
+
+def test_fig18(run_experiment, bench_scale):
+    res = run_experiment(fig18_push_pull_timeline, scale=bench_scale)
+    raw = res.raw
+
+    # In-Core: pure push suffers from atomic coherence vs the switcher
+    assert raw[("In-Core", "bfs_push")].cycles > \
+        raw[("In-Core", "bfs")].cycles
+
+    # NDC switching policy chooses push for most iterations
+    aff_dirs = raw[("Aff-Alloc", "bfs")].counters["directions"]
+    assert aff_dirs.count("push") >= aff_dirs.count("pull")
+
+    # and Aff-Alloc's switcher beats Near-L3's on the same variant
+    assert raw[("Aff-Alloc", "bfs")].cycles < \
+        raw[("Near-L3", "bfs")].cycles

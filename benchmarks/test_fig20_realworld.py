@@ -1,0 +1,19 @@
+"""Fig 20: real-world social graphs (Table 4 stand-ins).
+
+Paper: on twitch-gamers and gplus (high-degree power-law graphs that are
+hard to partition), Hybrid-5 achieves ~2.0x over Near-L3 with a large
+traffic cut.
+"""
+
+from repro.harness import fig20_real_world
+
+
+def test_fig20(run_experiment, bench_scale):
+    res = run_experiment(fig20_real_world,
+                         workloads=("pr_push", "bfs", "sssp"),
+                         graphs=("twitch-gamers", "gplus"),
+                         scale=bench_scale / 4)
+    gm = res.rows()[-1]
+    assert gm[3] > 1.3            # paper: 2.0x geomean (Hybrid-5)
+    for row in res.rows()[:-1]:
+        assert row[4] < 0.9, row  # traffic cut on every (graph, workload)

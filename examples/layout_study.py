@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Reproduce the paper's two motivation studies from the public API.
+
+* Fig 4 — how sensitive near-data vector add is to the relative bank
+  placement of its operands (the "not-so near-data" problem).
+* Fig 6 — how much remapping CSR edge chunks near their destination
+  vertices could help, at different chunk granularities.
+
+Run:  python examples/layout_study.py
+"""
+
+from repro.harness import fig4_vecadd_delta, fig6_chunk_remap, render
+
+
+def main():
+    print(render(fig4_vecadd_delta(deltas=tuple(range(0, 68, 8)), n=1 << 18)))
+    print()
+    print(render(fig6_chunk_remap(workloads=("pr_push", "bfs_push"),
+                                  scale=0.08)))
+    print("\n(Speedups normalized to the row baseline; see the docstrings "
+          "of repro.harness.experiments for the exact conventions.)")
+
+
+if __name__ == "__main__":
+    main()

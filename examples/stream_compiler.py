@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The near-stream-computing compiler pipeline (paper §2, Fig 2).
+
+Describes the paper's Fig 2(a) vector add and Fig 2(c) push-BFS inner
+loop as declarative kernels, compiles them to stream dependence graphs,
+shows the offload decision, and runs the generated plans on the
+simulator.
+
+Run:  python examples/stream_compiler.py
+"""
+
+import numpy as np
+
+from repro.nsc import EngineMode, KernelBuilder, compile_kernel
+from repro.perf import PerfModel
+from repro.workloads.base import make_context
+
+
+def show(ck):
+    print(f"kernel {ck.name!r}")
+    print(f"  streams : " + ", ".join(
+        f"{s.name}:{s.kind.value}" for s in ck.graph.streams))
+    print(f"  deps    : " + ", ".join(
+        f"{d.src}-[{d.kind.value}]->{d.dst}" for d in ck.graph.deps))
+    print(f"  offload : {ck.decision.offload} ({ck.decision.reason})")
+    print(f"  plan    : {ck.plan.describe()}")
+
+
+def vecadd():
+    print("=" * 64)
+    print("Fig 2(a): C[0:N] = A[0:N] + B[0:N]")
+    n = 1 << 18
+    ctx = make_context(EngineMode.AFF_ALLOC)
+    a = ctx.alloc(4, n, "A")
+    b = ctx.alloc(4, n, "B", align_to=a)
+    c = ctx.alloc(4, n, "C", align_to=a)
+    k = KernelBuilder("vecadd", n)
+    k.load("sa", a)
+    k.load("sb", b)
+    k.store("sc", c, inputs=["sa", "sb"], ops=1.0)
+    ck = compile_kernel(k)
+    show(ck)
+    ck.run(ctx.executor, np.arange(n), ctx.cores_for(n))
+    r = PerfModel(ctx.machine).evaluate(ctx.recorder, label="vecadd")
+    print(f"  result  : {r.cycles:,.0f} cycles, "
+          f"{r.total_flit_hops:,.0f} flit-hops "
+          f"(data forwarding: {r.flit_hops_by_class['data']:,.0f})\n")
+
+
+def bfs_inner():
+    print("=" * 64)
+    print("Fig 2(c): push-BFS inner loop — CAS into neighbors' parents")
+    n = 1 << 16
+    ctx = make_context(EngineMode.AFF_ALLOC)
+    parents = ctx.alloc(8, n, "Parent", partition=True)
+    edges = ctx.alloc(4, n, "Edges")
+    rng = np.random.default_rng(0)
+    dsts = rng.integers(0, n, n)
+    k = KernelBuilder("bfs_inner", n)
+    k.load("se", edges)
+    k.atomic("sx", parents, address_from="se",
+             target_indices=lambda it: dsts[it], ops=1.0)
+    ck = compile_kernel(k)
+    show(ck)
+    ck.run(ctx.executor, np.arange(n), ctx.cores_for(n))
+    r = PerfModel(ctx.machine).evaluate(ctx.recorder, label="bfs-inner")
+    print(f"  result  : {r.counters['atomics']:,.0f} remote atomics, "
+          f"{r.counters['remote_reqs']:,.0f} crossed the NoC "
+          f"({1 - r.counters['remote_reqs'] / r.counters['atomics']:.0%} "
+          f"were bank-local thanks to the layout)\n")
+
+
+def main():
+    vecadd()
+    bfs_inner()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Affinity Alloc: Taming Not-So Near-Data
+Computing" (MICRO 2023).
+
+Public API tour:
+
+* :class:`repro.Machine` / :class:`repro.SystemConfig` — the simulated
+  chip (Table 2 defaults) and process address space.
+* :class:`repro.AffinityAllocator` with :class:`repro.AffineArray` — the
+  paper's ``malloc_aff`` / ``free_aff`` interface.
+* :mod:`repro.datastructs` — co-optimized data structures (spatially
+  distributed queue, Linked CSR, affinity linked lists/trees).
+* :mod:`repro.workloads` — the ten evaluation kernels, runnable under
+  ``EngineMode.IN_CORE`` / ``NEAR_L3`` / ``AFF_ALLOC``.
+* :mod:`repro.harness` — one function per paper figure/table.
+"""
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.machine import Machine
+from repro.core import (
+    AffineArray,
+    AffinityAllocator,
+    ArrayHandle,
+    HybridPolicy,
+    LinearPolicy,
+    MinHopPolicy,
+    RandomPolicy,
+    policy_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SystemConfig",
+    "Machine",
+    "AffineArray",
+    "AffinityAllocator",
+    "ArrayHandle",
+    "RandomPolicy",
+    "LinearPolicy",
+    "MinHopPolicy",
+    "HybridPolicy",
+    "policy_by_name",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Microarchitecture substrate: mesh NoC, NUCA LLC, IOT, DRAM, energy.
+
+These modules model the hardware of the paper's Table 2 platform at the
+message level: they answer "which bank does this address map to", "how many
+hops / which links does this message take", "how loaded is each bank", and
+"what does each event cost in energy".
+"""
+
+from repro.arch.mesh import Mesh
+from repro.arch.iot import InterleaveOverrideTable, IotEntry
+from repro.arch.llc import LlcModel
+from repro.arch.noc import MessageClass, TrafficAccountant
+from repro.arch.dram import DramModel
+from repro.arch.energy import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "Mesh",
+    "InterleaveOverrideTable",
+    "IotEntry",
+    "LlcModel",
+    "MessageClass",
+    "TrafficAccountant",
+    "DramModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,76 @@
+"""Address arithmetic helpers shared by the VM and cache layers.
+
+All addresses in the simulator are plain Python ints (byte addresses in a
+48-bit space, as in the paper's Table 1 IOT fields).  These helpers keep
+line/page rounding logic in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "is_power_of_two",
+    "line_index",
+    "lines_spanned",
+    "AddressRange",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def align_down(addr: int, granule: int) -> int:
+    if granule <= 0:
+        raise ValueError("granule must be positive")
+    return addr - (addr % granule)
+
+
+def align_up(addr: int, granule: int) -> int:
+    if granule <= 0:
+        raise ValueError("granule must be positive")
+    return -(-addr // granule) * granule
+
+
+def line_index(addr, line_bytes: int = 64):
+    """Cache-line index of byte address(es); vectorized."""
+    return np.asarray(addr) // line_bytes
+
+
+def lines_spanned(addr: int, size: int, line_bytes: int = 64) -> int:
+    """Number of cache lines touched by ``[addr, addr + size)``."""
+    if size <= 0:
+        return 0
+    first = addr // line_bytes
+    last = (addr + size - 1) // line_bytes
+    return int(last - first + 1)
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """Half-open byte range ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"invalid range [{self.start:#x}, {self.end:#x})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start < other.end and other.start < self.end

@@ -1,0 +1,128 @@
+"""Interleave Override Table (paper Table 1, Eq. 1).
+
+Each L2/L3 cache controller holds a small table whose entries override the
+default physical-address-to-bank hash for one physical range::
+
+    bank(addr) = floor((addr - start) / intrlv)  mod  num_banks      (Eq. 1)
+
+One entry covers one interleave pool, because the OS backs every pool with
+contiguous physical pages (paper 4.1), so 7 pools need only 7 of the 16
+entries.  Lookups are vectorized: the executor maps millions of addresses
+per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.address import is_power_of_two
+
+__all__ = ["IotEntry", "InterleaveOverrideTable"]
+
+
+@dataclass(frozen=True)
+class IotEntry:
+    """One override region: physical ``[start, end)`` with ``intrlv`` bytes.
+
+    Mirrors Table 1 of the paper: 48-bit start/end, 16-bit interleave.
+    """
+
+    start: int
+    end: int
+    intrlv: int
+
+    def __post_init__(self):
+        if not (0 <= self.start < self.end < (1 << 48)):
+            raise ValueError(f"IOT range must be within 48-bit space: [{self.start:#x}, {self.end:#x})")
+        if not (0 < self.intrlv < (1 << 16) + 1):
+            raise ValueError(f"IOT interleave must fit 16 bits, got {self.intrlv}")
+        if not is_power_of_two(self.intrlv):
+            # The hardware divides with a right shift (paper 4.1);
+            # non-power-of-two interleavings are explicitly future work.
+            raise ValueError(f"IOT interleave must be a power of two, got {self.intrlv}")
+
+    def covers(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class InterleaveOverrideTable:
+    """Fixed-capacity override table queried on every L2 miss / L3 access."""
+
+    def __init__(self, num_banks: int, capacity: int = 16):
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self.num_banks = num_banks
+        self.capacity = capacity
+        self._entries: List[IotEntry] = []
+        # Parallel numpy views for vectorized lookup, rebuilt on mutation.
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+        self._shifts = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> List[IotEntry]:
+        return list(self._entries)
+
+    def install(self, entry: IotEntry) -> None:
+        """Install an entry; ranges must not overlap existing ones."""
+        if len(self._entries) >= self.capacity:
+            raise RuntimeError(f"IOT full ({self.capacity} entries)")
+        for existing in self._entries:
+            if entry.start < existing.end and existing.start < entry.end:
+                raise ValueError(
+                    f"IOT entry [{entry.start:#x},{entry.end:#x}) overlaps "
+                    f"[{existing.start:#x},{existing.end:#x})"
+                )
+        self._entries.append(entry)
+        self._rebuild()
+
+    def update_end(self, start: int, new_end: int) -> None:
+        """Grow the region beginning at ``start`` (pool expansion)."""
+        for i, e in enumerate(self._entries):
+            if e.start == start:
+                if new_end < e.end:
+                    raise ValueError("IOT regions only grow")
+                self._entries[i] = IotEntry(e.start, new_end, e.intrlv)
+                self._rebuild()
+                return
+        raise KeyError(f"no IOT entry starting at {start:#x}")
+
+    def _rebuild(self) -> None:
+        self._starts = np.array([e.start for e in self._entries], dtype=np.int64)
+        self._ends = np.array([e.end for e in self._entries], dtype=np.int64)
+        self._shifts = np.array(
+            [int(e.intrlv).bit_length() - 1 for e in self._entries], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[IotEntry]:
+        """Return the entry covering ``addr``, if any."""
+        for e in self._entries:
+            if e.covers(addr):
+                return e
+        return None
+
+    def banks(self, addrs: np.ndarray, default_shift: int) -> np.ndarray:
+        """Map physical addresses to bank ids (Eq. 1), vectorized.
+
+        Addresses outside every override region use the default static-NUCA
+        interleave ``1 << default_shift`` starting at physical 0 — the
+        baseline Table 2 mapping.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        banks = (addrs >> default_shift) % self.num_banks
+        for start, end, shift in zip(self._starts, self._ends, self._shifts):
+            mask = (addrs >= start) & (addrs < end)
+            if mask.any():
+                banks[mask] = ((addrs[mask] - start) >> shift) % self.num_banks
+        return banks
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"InterleaveOverrideTable({len(self._entries)}/{self.capacity} entries)"

@@ -1,0 +1,133 @@
+"""Shared L3 (NUCA LLC) model: bank mapping, footprints, and misses.
+
+Mapping is the composition the paper describes: the IOT overrides the
+default static-NUCA hash (1 KiB physical interleave) for physical ranges
+that belong to interleave pools.  This module consumes *physical*
+addresses; the VM layer translates virtual to physical first.
+
+Capacity modelling is deliberately coarse (see DESIGN.md §5): each bank
+tracks the resident footprint of distinct lines mapped to it; a workload's
+miss ratio on a bank follows from footprint vs. capacity and the
+workload's reuse pattern.  This reproduces the two capacity effects the
+paper reports: the input-size scaling cliffs (Figs 15/16) and the Min-Hop
+single-bank pathology on bin_tree (Fig 13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.iot import InterleaveOverrideTable
+from repro.config import CacheConfig
+
+__all__ = ["LlcModel"]
+
+
+class LlcModel:
+    """Bank mapping plus per-bank footprint/miss accounting."""
+
+    def __init__(self, num_banks: int, cache: CacheConfig,
+                 iot: Optional[InterleaveOverrideTable] = None):
+        self.num_banks = num_banks
+        self.cache = cache
+        self.iot = iot if iot is not None else InterleaveOverrideTable(num_banks, cache.iot_entries)
+        self._default_shift = int(cache.default_interleave).bit_length() - 1
+        if (1 << self._default_shift) != cache.default_interleave:
+            raise ValueError("default_interleave must be a power of two")
+        # Distinct resident lines per bank, tracked as sets of line ids in
+        # chunked form: we only need footprint *bytes*, so a per-bank count
+        # of distinct lines observed is enough.  Distinctness is
+        # approximated by the caller registering data ranges once.
+        self._footprint_bytes = np.zeros(num_banks, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def bank_of(self, paddr: int) -> int:
+        return int(self.banks_of(np.asarray([paddr]))[0])
+
+    def banks_of(self, paddrs: np.ndarray) -> np.ndarray:
+        """Physical address(es) -> owning L3 bank id (vectorized)."""
+        return self.iot.banks(np.asarray(paddrs, dtype=np.int64), self._default_shift)
+
+    # ------------------------------------------------------------------
+    # Footprint / capacity
+    # ------------------------------------------------------------------
+    def register_range(self, paddr: int, size: int) -> None:
+        """Account a physical range as resident data.
+
+        Called once per allocated object/array; splits the range across
+        banks according to the current mapping.  (Re-registering the same
+        range would double-count — allocator owns that discipline.)
+        """
+        if size <= 0:
+            return
+        line = self.cache.line_bytes
+        start = paddr - (paddr % line)
+        end = paddr + size
+        nlines = (end - start + line - 1) // line
+        line_addrs = start + np.arange(nlines, dtype=np.int64) * line
+        banks = self.banks_of(line_addrs)
+        self._footprint_bytes += np.bincount(banks, minlength=self.num_banks) * float(line)
+
+    def register_by_banks(self, banks: np.ndarray, bytes_each: float,
+                          counts=1.0) -> None:
+        """Batch footprint registration for objects wholly within one bank
+        each (e.g. pool slots): ``counts[i]`` objects of ``bytes_each`` on
+        ``banks[i]``."""
+        banks = np.asarray(banks, dtype=np.int64)
+        counts = np.broadcast_to(np.asarray(counts, dtype=np.float64), banks.shape)
+        self._footprint_bytes += (
+            np.bincount(banks, weights=counts, minlength=self.num_banks) * bytes_each)
+
+    def unregister_range(self, paddr: int, size: int) -> None:
+        if size <= 0:
+            return
+        line = self.cache.line_bytes
+        start = paddr - (paddr % line)
+        end = paddr + size
+        nlines = (end - start + line - 1) // line
+        line_addrs = start + np.arange(nlines, dtype=np.int64) * line
+        banks = self.banks_of(line_addrs)
+        self._footprint_bytes -= np.bincount(banks, minlength=self.num_banks) * float(line)
+        np.clip(self._footprint_bytes, 0.0, None, out=self._footprint_bytes)
+
+    @property
+    def footprint_bytes(self) -> np.ndarray:
+        return self._footprint_bytes.copy()
+
+    def bank_miss_fraction(self) -> np.ndarray:
+        """Fraction of accesses to each bank that miss due to capacity.
+
+        A bank whose resident footprint fits in capacity has ~0 capacity
+        misses; beyond that, accesses distributed over the footprint hit
+        with probability capacity/footprint (random-replacement streaming
+        approximation), so miss fraction = max(0, 1 - cap/footprint).
+        """
+        cap = float(self.cache.bank_capacity_bytes)
+        fp = np.maximum(self._footprint_bytes, 1e-9)
+        return np.clip(1.0 - cap / fp, 0.0, 1.0)
+
+    def miss_fraction_for_banks(self, bank_access_counts: np.ndarray,
+                                reuse_fraction: float = 1.0) -> float:
+        """Aggregate L3 miss ratio for a run.
+
+        Args:
+            bank_access_counts: accesses issued to each bank.
+            reuse_fraction: fraction of accesses that are re-references and
+                thus *can* miss on capacity (cold first-touches always miss
+                in reality, but the paper's miss% plots are about capacity
+                behaviour, so cold misses are folded into the model
+                constant by the perf layer).
+        """
+        counts = np.asarray(bank_access_counts, dtype=np.float64)
+        total = counts.sum()
+        if total <= 0:
+            return 0.0
+        per_bank = self.bank_miss_fraction()
+        return float(np.dot(counts, per_bank) / total) * reuse_fraction
+
+    def reset_footprint(self) -> None:
+        self._footprint_bytes[:] = 0.0

@@ -1,0 +1,156 @@
+"""Mesh topology and X-Y (dimension-ordered) routing.
+
+Tiles are numbered row-major: tile ``t`` sits at column ``t % width`` and
+row ``t // width``.  Each tile hosts one core and one L3 bank, so "bank id"
+and "tile id" share the same coordinate space (paper Fig 1(d)).
+
+All hop computations are vectorized over numpy arrays because the trace
+executor feeds millions of (src, dst) pairs through them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["Mesh"]
+
+
+class Mesh:
+    """An ``width x height`` 2D mesh with X-Y routing.
+
+    X-Y routing moves a message fully along the X dimension first, then
+    along Y.  It is deterministic, which lets us attribute every message to
+    an exact set of directed links and expose bisection bottlenecks
+    (paper Fig 3(b)).
+    """
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"mesh dimensions must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self.num_tiles = width * height
+        # Directed links: (x-links) + (y-links). A link id encodes
+        # (from_tile, direction); see _link_id below.
+        self.num_links = self.num_tiles * 4  # E, W, N, S per tile (edge links unused)
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coords(self, tile: "np.ndarray | int"):
+        """Return (x, y) coordinates for tile id(s)."""
+        tile = np.asarray(tile)
+        return tile % self.width, tile // self.width
+
+    def tile_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinate ({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def validate_tiles(self, tiles: np.ndarray) -> None:
+        tiles = np.asarray(tiles)
+        if tiles.size and (tiles.min() < 0 or tiles.max() >= self.num_tiles):
+            raise ValueError("tile id out of range")
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def hops(self, src, dst) -> np.ndarray:
+        """Manhattan distance between tiles (vectorized).
+
+        With X-Y routing the route length equals the Manhattan distance,
+        so this is both "distance" and "number of link traversals".
+        """
+        sx, sy = self.coords(np.asarray(src))
+        dx, dy = self.coords(np.asarray(dst))
+        return np.abs(sx - dx) + np.abs(sy - dy)
+
+    def mean_hops_to(self, dst: int, sources: Iterable[int]) -> float:
+        """Average hop count from each source tile to ``dst``."""
+        src = np.asarray(list(sources))
+        if src.size == 0:
+            return 0.0
+        return float(self.hops(src, dst).mean())
+
+    def hops_to_all(self, targets: np.ndarray) -> np.ndarray:
+        """Matrix ``M[b, i]`` = hops from every tile ``b`` to ``targets[i]``.
+
+        Used by the bank-select policy to score all candidate banks against
+        a small set of affinity addresses in one shot.
+        """
+        targets = np.asarray(targets)
+        all_tiles = np.arange(self.num_tiles)
+        bx, by = self.coords(all_tiles)
+        tx, ty = self.coords(targets)
+        return np.abs(bx[:, None] - tx[None, :]) + np.abs(by[:, None] - ty[None, :])
+
+    # ------------------------------------------------------------------
+    # Link-level routing
+    # ------------------------------------------------------------------
+    # Directions for link ids.
+    _EAST, _WEST, _NORTH, _SOUTH = 0, 1, 2, 3
+
+    def _link_id(self, tile: int, direction: int) -> int:
+        return tile * 4 + direction
+
+    def route_links(self, src: int, dst: int) -> List[int]:
+        """Directed link ids on the X-Y route from ``src`` to ``dst``."""
+        links: List[int] = []
+        sx, sy = src % self.width, src // self.width
+        dx, dy = dst % self.width, dst // self.width
+        x, y = sx, sy
+        while x != dx:
+            step = 1 if dx > x else -1
+            direction = self._EAST if step > 0 else self._WEST
+            links.append(self._link_id(self.tile_at(x, y), direction))
+            x += step
+        while y != dy:
+            step = 1 if dy > y else -1
+            direction = self._SOUTH if step > 0 else self._NORTH
+            links.append(self._link_id(self.tile_at(x, y), direction))
+            y += step
+        return links
+
+    def link_loads(self, src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Accumulate per-link load for weighted (src, dst) message batches.
+
+        ``weight`` is typically flits (or bytes).  Because the number of
+        distinct (src, dst) pairs is bounded by ``num_tiles**2`` (4096 on
+        the 8x8 mesh), we first collapse the batch onto pair ids with
+        ``bincount`` and only then walk routes — keeping this fast even for
+        multi-million-element traces.
+
+        Returns an array of length ``num_links`` with accumulated weight.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        weight = np.broadcast_to(np.asarray(weight, dtype=np.float64), src.shape)
+        pair = src * self.num_tiles + dst
+        pair_weight = np.bincount(pair, weights=weight, minlength=self.num_tiles ** 2)
+        loads = np.zeros(self.num_links, dtype=np.float64)
+        nonzero = np.nonzero(pair_weight)[0]
+        for p in nonzero:
+            s, d = divmod(int(p), self.num_tiles)
+            if s == d:
+                continue
+            for link in self.route_links(s, d):
+                loads[link] += pair_weight[p]
+        return loads
+
+    def bisection_links(self) -> Tuple[List[int], List[int]]:
+        """Link ids crossing the vertical mid-cut (both directions).
+
+        Returns (eastward, westward) link lists across the cut between
+        column ``width//2 - 1`` and ``width//2``.
+        """
+        cut = self.width // 2 - 1
+        east, west = [], []
+        for y in range(self.height):
+            east.append(self._link_id(self.tile_at(cut, y), self._EAST))
+            west.append(self._link_id(self.tile_at(cut + 1, y), self._WEST))
+        return east, west
+
+    def __repr__(self) -> str:
+        return f"Mesh({self.width}x{self.height})"

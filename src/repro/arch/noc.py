@@ -1,0 +1,186 @@
+"""NoC traffic accounting.
+
+The trace executor does not simulate individual packets; it records
+*message batches* — vectors of (src tile, dst tile, payload bytes, class).
+The accountant collapses every batch onto the (src, dst) pair space, so
+memory stays O(num_tiles^2) per message class no matter how long the trace
+is, while still preserving enough structure to compute:
+
+* total flit-hops per message class (the paper's "NoC Hops" metric,
+  Figs 4/6/12/13/20),
+* per-link flit loads under X-Y routing (bisection pathologies, Fig 3b),
+* average NoC utilization (Fig 12's "NoC Util." markers).
+
+Message classes follow the paper's figure legends:
+
+* ``DATA``    — operand forwarding, line fills, write-backs, indirect
+  responses: payload-carrying messages.
+* ``CONTROL`` — requests, indirect requests, credits, coherence control:
+  header-only messages.
+* ``OFFLOAD`` — stream configuration and stream migration messages.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.mesh import Mesh
+from repro.config import NocConfig
+
+__all__ = ["MessageClass", "TrafficAccountant", "pair_channel_loads"]
+
+
+class MessageClass(enum.Enum):
+    DATA = "data"
+    CONTROL = "control"
+    OFFLOAD = "offload"
+
+
+def pair_channel_loads(mesh: Mesh, pair_flits: np.ndarray) -> np.ndarray:
+    """Expand (src, dst)-pair flit counts onto NoC channels.
+
+    Channels = directed router-to-router links (X-Y routes) plus each
+    tile's injection and ejection ports (1 flit/cycle each).  The ports
+    matter: every message destined for one bank funnels through that
+    bank's single ejection channel, so a hot bank (a high-degree vertex's
+    atomics, a global queue's tail) is a bandwidth bottleneck even when
+    no single mesh link saturates — and colocating the producers with the
+    bank (affinity alloc) removes those messages entirely.
+
+    Layout of the returned vector: ``[links..., inject per tile...,
+    eject per tile...]``.
+    """
+    n = mesh.num_tiles
+    loads = np.zeros(mesh.num_links + 2 * n, dtype=np.float64)
+    inj = mesh.num_links
+    ej = mesh.num_links + n
+    for p in np.nonzero(pair_flits)[0]:
+        s, d = divmod(int(p), n)
+        if s == d:
+            continue
+        w = pair_flits[p]
+        loads[inj + s] += w
+        loads[ej + d] += w
+        for link in mesh.route_links(s, d):
+            loads[link] += w
+    return loads
+
+
+class TrafficAccountant:
+    """Accumulates message batches into per-(pair, class) flit counts."""
+
+    def __init__(self, mesh: Mesh, noc: NocConfig):
+        self.mesh = mesh
+        self.noc = noc
+        npairs = mesh.num_tiles ** 2
+        self._pair_flits: Dict[MessageClass, np.ndarray] = {
+            cls: np.zeros(npairs, dtype=np.float64) for cls in MessageClass
+        }
+        self._messages: Dict[MessageClass, float] = {cls: 0.0 for cls in MessageClass}
+        # Hop distance for every (src, dst) pair, built lazily.
+        self._pair_hops: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _flits_for(self, payload_bytes) -> np.ndarray:
+        """Flits for message(s) with the given payload size.
+
+        Every message carries one header; payload is packed into
+        ``link_bytes_per_cycle``-byte flits.
+        """
+        total = np.asarray(payload_bytes, dtype=np.float64) + self.noc.header_bytes
+        return np.ceil(total / self.noc.link_bytes_per_cycle)
+
+    def record(self, src, dst, payload_bytes, cls: MessageClass, count=1) -> None:
+        """Record message batch(es).
+
+        Args:
+            src, dst: tile ids (scalars or equal-length arrays).
+            payload_bytes: payload per message (scalar or array).
+            cls: message class.
+            count: multiplicity per entry (scalar or array) — e.g. a batch
+                entry may represent ``count`` identical messages.
+        """
+        src = np.atleast_1d(np.asarray(src, dtype=np.int64))
+        dst = np.atleast_1d(np.asarray(dst, dtype=np.int64))
+        if src.shape != dst.shape:
+            src, dst = np.broadcast_arrays(src, dst)
+        n = self.mesh.num_tiles
+        if src.size == 0:
+            return
+        self.mesh.validate_tiles(src)
+        self.mesh.validate_tiles(dst)
+        flits = self._flits_for(payload_bytes) * np.asarray(count, dtype=np.float64)
+        flits = np.broadcast_to(flits, src.shape)
+        pair = src * n + dst
+        self._pair_flits[cls] += np.bincount(pair, weights=flits, minlength=n * n)
+        self._messages[cls] += float(np.sum(np.broadcast_to(np.asarray(count, dtype=np.float64), src.shape)))
+
+    # ------------------------------------------------------------------
+    def _hops_per_pair(self) -> np.ndarray:
+        if self._pair_hops is None:
+            n = self.mesh.num_tiles
+            idx = np.arange(n * n)
+            self._pair_hops = self.mesh.hops(idx // n, idx % n).astype(np.float64)
+        return self._pair_hops
+
+    def flit_hops(self, cls: Optional[MessageClass] = None) -> float:
+        """Total flits x hops — the paper's NoC traffic metric."""
+        hops = self._hops_per_pair()
+        if cls is not None:
+            return float(np.dot(self._pair_flits[cls], hops))
+        return float(sum(np.dot(v, hops) for v in self._pair_flits.values()))
+
+    def flit_hops_by_class(self) -> Dict[MessageClass, float]:
+        hops = self._hops_per_pair()
+        return {cls: float(np.dot(v, hops)) for cls, v in self._pair_flits.items()}
+
+    def total_flits(self, cls: Optional[MessageClass] = None) -> float:
+        if cls is not None:
+            return float(self._pair_flits[cls].sum())
+        return float(sum(v.sum() for v in self._pair_flits.values()))
+
+    def message_count(self, cls: Optional[MessageClass] = None) -> float:
+        if cls is not None:
+            return self._messages[cls]
+        return sum(self._messages.values())
+
+    # ------------------------------------------------------------------
+    def link_loads(self) -> np.ndarray:
+        """Per-channel flit load (links + inject/eject ports, all classes)."""
+        total_pairs = sum(self._pair_flits.values())
+        return pair_channel_loads(self.mesh, total_pairs)
+
+    def max_link_load(self) -> float:
+        """Flits on the most-loaded directed link (the NoC bottleneck)."""
+        loads = self.link_loads()
+        return float(loads.max()) if loads.size else 0.0
+
+    def mean_link_load(self) -> float:
+        loads = self.link_loads()
+        # Interior links only in spirit; edge link slots stay zero, so
+        # normalize by the count of links that could carry traffic.
+        usable = self._usable_link_count()
+        return float(loads.sum() / usable) if usable else 0.0
+
+    def _usable_link_count(self) -> int:
+        w, h = self.mesh.width, self.mesh.height
+        # mesh links (both directions) plus inject/eject ports per tile
+        return 2 * ((w - 1) * h + (h - 1) * w) + 2 * w * h
+
+    def utilization(self, cycles: float) -> float:
+        """Average fraction of link-cycles carrying flits over ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return min(1.0, self.link_loads().sum() / (self._usable_link_count() * cycles))
+
+    def merged_with(self, other: "TrafficAccountant") -> "TrafficAccountant":
+        """Return a new accountant with both traffic sets combined."""
+        out = TrafficAccountant(self.mesh, self.noc)
+        for cls in MessageClass:
+            out._pair_flits[cls] = self._pair_flits[cls] + other._pair_flits[cls]
+            out._messages[cls] = self._messages[cls] + other._messages[cls]
+        return out

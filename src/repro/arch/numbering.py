@@ -1,0 +1,111 @@
+"""Bank-numbering schemes (paper §4.1, "Other Interleave Patterns").
+
+Eq. 1 produces a *logical* bank number (slot mod B); how logical numbers
+map onto physical mesh tiles is a hardware choice.  The paper notes that
+"more sophisticated interleave patterns can be supported by either
+changing how L3 banks are numbered or enhancing Eq 1 ... however, we find
+that a simple 1D linear pattern is expressive enough to achieve optimal
+spatial affinity for the affine workloads we studied."
+
+This module implements candidate numberings from the family the paper
+mentions — row-major linear, quadrant (Morton/Z-order) filling,
+serpentine (boustrophedon) wrapping, and column-major — plus the distance
+analysis that backs the paper's conclusion.  The study lives in
+``benchmarks/test_ablation_numbering.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.arch.mesh import Mesh
+
+__all__ = ["linear_numbering", "morton_numbering", "serpentine_numbering",
+           "column_numbering",
+           "NUMBERINGS", "expected_delta_distance", "numbering_distance_table"]
+
+
+def linear_numbering(mesh: Mesh) -> np.ndarray:
+    """Row-major: logical bank k sits on tile k (the default)."""
+    return np.arange(mesh.num_tiles, dtype=np.int64)
+
+
+def morton_numbering(mesh: Mesh) -> np.ndarray:
+    """Quadrant filling: logical banks follow the Z-order curve, so
+    consecutive numbers stay within quadrants (paper: "a 2D pattern that
+    fills L3 banks in the order of quadrant")."""
+    if mesh.width != mesh.height or mesh.width & (mesh.width - 1):
+        raise ValueError("Morton numbering needs a square power-of-two mesh")
+    n = mesh.num_tiles
+    tiles = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        x = y = 0
+        for bit in range(mesh.width.bit_length() - 1):
+            x |= ((k >> (2 * bit)) & 1) << bit
+            y |= ((k >> (2 * bit + 1)) & 1) << bit
+        tiles[k] = mesh.tile_at(x, y)
+    return tiles
+
+
+def serpentine_numbering(mesh: Mesh) -> np.ndarray:
+    """Boustrophedon: odd rows run right-to-left, so consecutive logical
+    banks are always physically adjacent (the strongest possible
+    small-delta locality a numbering can offer — paper: "a two-level
+    wrapping around" family)."""
+    w, h = mesh.width, mesh.height
+    out = np.empty(mesh.num_tiles, dtype=np.int64)
+    for k in range(mesh.num_tiles):
+        row, pos = divmod(k, w)
+        col = pos if row % 2 == 0 else w - 1 - pos
+        out[k] = mesh.tile_at(col, row)
+    return out
+
+
+def column_numbering(mesh: Mesh) -> np.ndarray:
+    """Column-major: consecutive logical banks stack vertically —
+    shortens +1 deltas into vertical hops, lengthens +H ones."""
+    w, h = mesh.width, mesh.height
+    out = np.empty(mesh.num_tiles, dtype=np.int64)
+    for k in range(mesh.num_tiles):
+        col, row = divmod(k, h)
+        out[k] = mesh.tile_at(col, row)
+    return out
+
+
+NUMBERINGS: Dict[str, Callable[[Mesh], np.ndarray]] = {
+    "linear": linear_numbering,
+    "quadrant": morton_numbering,
+    "serpentine": serpentine_numbering,
+    "column": column_numbering,
+}
+
+
+def expected_delta_distance(mesh: Mesh, numbering: np.ndarray,
+                            delta: int) -> float:
+    """Mean physical distance between logical banks ``k`` and ``k+delta``.
+
+    This is the quantity the intra-array layout solver minimizes; a
+    numbering is better for a workload whose dominant slot delta it
+    shortens.
+    """
+    n = mesh.num_tiles
+    k = np.arange(n)
+    return float(mesh.hops(numbering[k], numbering[(k + delta) % n]).mean())
+
+
+def numbering_distance_table(mesh: Mesh, deltas=(1, 2, 4, 8, 16, 32)):
+    """Distance of each candidate numbering at each slot delta.
+
+    Returns ``{numbering: {delta: mean hops}}`` — the data behind the
+    paper's "1D linear is expressive enough" claim: for every delta some
+    pool interleave makes linear's distance ~minimal, so fancier
+    numberings don't unlock extra affinity for affine workloads.
+    """
+    out = {}
+    for name, fn in NUMBERINGS.items():
+        perm = fn(mesh)
+        out[name] = {d: expected_delta_distance(mesh, perm, d)
+                     for d in deltas}
+    return out

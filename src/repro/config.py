@@ -1,0 +1,166 @@
+"""System configuration for the simulated multicore (paper Table 2).
+
+The paper evaluates an 8x8-tile mesh chip: each tile has a core, private
+L1/L2, and one shared L3 (LLC) bank.  Four DRAM channels sit at the mesh
+corners.  The defaults below mirror Table 2 of the paper; everything is a
+frozen dataclass so a configuration can be hashed, compared, and safely
+shared between runs.
+
+The timing/energy constants in :class:`PerfParams` are *model* parameters
+for the coarse message-level simulator (see ``DESIGN.md`` section 5); they
+are chosen to sit in the published relative ranges (link hop vs. cache
+access vs. DRAM access) rather than to replicate gem5 cycle counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = [
+    "NocConfig",
+    "CacheConfig",
+    "DramConfig",
+    "PerfParams",
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+]
+
+CACHE_LINE = 64
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh network-on-chip parameters (Table 2: "NoC").
+
+    Attributes:
+        width: Number of tile columns.
+        height: Number of tile rows.
+        link_bytes_per_cycle: Payload bytes one link moves per cycle
+            (Table 2: 32B 1-cycle bidirectional links).
+        hop_latency: Cycles for one router+link traversal (5-stage router
+            pipelined; effective per-hop latency for a flit).
+        header_bytes: Bytes of header per message (request/control
+            messages are a single header flit).
+    """
+
+    width: int = 8
+    height: int = 8
+    link_bytes_per_cycle: int = 32
+    hop_latency: int = 3
+    header_bytes: int = 8
+
+    @property
+    def num_tiles(self) -> int:
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shared L3 (LLC) parameters (Table 2: "Shared L3 $")."""
+
+    line_bytes: int = CACHE_LINE
+    bank_capacity_bytes: int = 1 << 20  # 1 MiB per bank
+    default_interleave: int = 1024  # Static NUCA, 1kB interleave
+    access_latency: int = 20
+    iot_entries: int = 16
+    private_cache_bytes: int = 256 << 10  # per-core L2 (reuse filtering)
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Memory system parameters (Table 2: "DRAM")."""
+
+    channels: int = 4
+    bytes_per_cycle_per_channel: float = 12.8  # 25.6 GB/s at 2 GHz
+    access_latency: int = 100
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """Constants for the analytic timing and energy models.
+
+    Timing:
+        core_ops_per_cycle: Peak scalar-equivalent ops a core retires per
+            cycle (8-issue OOO with AVX-512 on streaming kernels).
+        bank_ops_per_cycle: Near-data ops one L3 stream engine (SEL3 plus
+            its SMT compute thread) retires per cycle.
+        bank_access_cycles: Service occupancy of one line access at a bank.
+        atomic_access_cycles: Service occupancy of one atomic op at the bank.
+        remote_req_cycles: Extra receive-side occupancy for handling one
+            *remote* fine-grained request (decode, schedule, reply) — the
+            per-message overhead that colocation eliminates.
+        credit_iters: Iterations covered by one SEcore<->SEL3 flow-control
+            credit message (coarse-grained synchronization, paper 2.2 —
+            sized so credits cover the SEL3's 64 KB stream buffer).
+
+    Energy (picojoules per event; relative magnitudes follow McPAT/CACTI
+    style models at 22nm):
+        pj_per_hop_flit: Moving one flit across one router+link.
+        pj_l3_access: One L3 bank line access.
+        pj_l2_access / pj_l1_access: Private cache line accesses.
+        pj_dram_access: One DRAM line access.
+        pj_core_op: One committed core ALU op (including pipeline overhead
+            of a wide OOO core).
+        pj_near_op: One near-data ALU op at the stream engine (skips
+            front-end/LSQ, paper 2.2).
+    """
+
+    core_ops_per_cycle: float = 8.0
+    bank_ops_per_cycle: float = 16.0
+    bank_access_cycles: float = 1.0
+    atomic_access_cycles: float = 1.0
+    remote_req_cycles: float = 1.5
+    credit_iters: int = 1024
+
+    pj_per_hop_flit: float = 12.0
+    pj_l3_access: float = 40.0
+    pj_l2_access: float = 25.0
+    pj_l1_access: float = 10.0
+    pj_dram_access: float = 640.0
+    pj_core_op: float = 60.0
+    pj_near_op: float = 4.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete machine description (paper Table 2).
+
+    The default constructed value is the evaluation platform of the paper:
+    64 tiles on an 8x8 mesh, 64 x 1 MiB L3 banks, 4 corner DRAM channels.
+    """
+
+    noc: NocConfig = dataclasses.field(default_factory=NocConfig)
+    cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
+    dram: DramConfig = dataclasses.field(default_factory=DramConfig)
+    perf: PerfParams = dataclasses.field(default_factory=PerfParams)
+    page_size: int = PAGE_SIZE
+    # Interleave-pool granularities the OS offers (paper: 64B..4KiB).
+    # Restricting this to (4096,) emulates page-granularity D-NUCA
+    # placement — the ablation behind the paper's Fig 6 argument.
+    pool_interleaves: tuple = (64, 128, 256, 512, 1024, 2048, 4096)
+
+    @property
+    def num_banks(self) -> int:
+        """One shared L3 bank per tile."""
+        return self.noc.num_tiles
+
+    @property
+    def num_cores(self) -> int:
+        return self.noc.num_tiles
+
+    @property
+    def total_l3_bytes(self) -> int:
+        return self.num_banks * self.cache.bank_capacity_bytes
+
+    def scaled(self, **kwargs) -> "SystemConfig":
+        """Return a copy with top-level fields replaced.
+
+        Convenience for experiments that vary one subsystem, e.g.
+        ``cfg.scaled(cache=dataclasses.replace(cfg.cache, ...))``.
+        """
+        return dataclasses.replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = SystemConfig()

@@ -1,0 +1,45 @@
+"""Affinity alloc: the paper's contribution.
+
+* :mod:`repro.core.api` — the declarative allocation interface
+  (``AffineArray`` spec, array handles).
+* :mod:`repro.core.affine` — affine layout solving (Eq. 2/3), pool-slot
+  and paged-chunk placement.
+* :mod:`repro.core.irregular` — per-(interleave, bank) free lists for
+  irregular allocations.
+* :mod:`repro.core.policy` — bank-select policies (Rnd / Lnr / Min-Hop /
+  Hybrid-H, Eq. 4).
+* :mod:`repro.core.runtime` — the :class:`AffinityAllocator` facade that
+  applications call (``malloc_aff`` / ``free_aff``).
+"""
+
+from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
+from repro.core.affine import AffineLayout, LayoutKind, solve_affine_layout
+from repro.core.irregular import SlotPool
+from repro.core.load import LoadTracker
+from repro.core.policy import (
+    BankSelectPolicy,
+    HybridPolicy,
+    LinearPolicy,
+    MinHopPolicy,
+    RandomPolicy,
+    policy_by_name,
+)
+from repro.core.runtime import AffinityAllocator
+
+__all__ = [
+    "AffineArray",
+    "ArrayHandle",
+    "alloc_plain_array",
+    "AffineLayout",
+    "LayoutKind",
+    "solve_affine_layout",
+    "SlotPool",
+    "LoadTracker",
+    "BankSelectPolicy",
+    "RandomPolicy",
+    "LinearPolicy",
+    "MinHopPolicy",
+    "HybridPolicy",
+    "policy_by_name",
+    "AffinityAllocator",
+]

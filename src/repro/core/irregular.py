@@ -1,0 +1,98 @@
+"""Per-(interleaving, bank) slot free lists for irregular allocation.
+
+Paper §5.1: "The runtime also maintains a free list for every valid
+interleaving size and every bank. ... the runtime allocates from the free
+list of that bank, and may require the OS to expand the specific pool if
+running out of space."  Because a pool's slot ``i`` sits on bank
+``i mod num_banks``, one contiguous pool expansion of
+``num_banks * k`` slots refills every bank's free list with ``k`` slots.
+
+Unlike conventional allocators, no per-object metadata is kept: an
+object's interleaving (= size class) is inferred from the pool its address
+falls in (paper §5.1 "Free Data").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.vm.pools import PoolManager
+
+__all__ = ["SlotPool"]
+
+
+class SlotPool:
+    """Slot allocator for one interleaving size."""
+
+    def __init__(self, pools: PoolManager, intrlv: int,
+                 slots_per_bank_per_expand: int = 64):
+        if slots_per_bank_per_expand <= 0:
+            raise ValueError("slots_per_bank_per_expand must be positive")
+        self.pools = pools
+        self.intrlv = intrlv
+        self.pool = pools.pool(intrlv)
+        self.num_banks = pools.num_banks
+        self.slots_per_bank_per_expand = slots_per_bank_per_expand
+        self._free: List[List[int]] = [[] for _ in range(self.num_banks)]
+        self.live = 0
+
+    # ------------------------------------------------------------------
+    def alloc_on_bank(self, bank: int) -> int:
+        """Pop one slot that maps to ``bank``; expands the pool if dry."""
+        if not (0 <= bank < self.num_banks):
+            raise ValueError(f"bank {bank} out of range")
+        if not self._free[bank]:
+            self._expand()
+        self.live += 1
+        return self._free[bank].pop()
+
+    def alloc_many_on_banks(self, banks: np.ndarray) -> np.ndarray:
+        """Pop one slot per entry of ``banks`` (batched ``alloc_on_bank``).
+
+        Returns the slot vaddrs in the same order as ``banks``.
+        """
+        banks = np.asarray(banks, dtype=np.int64)
+        out = np.empty(banks.size, dtype=np.int64)
+        need = np.bincount(banks, minlength=self.num_banks)
+        while any(need[b] > len(self._free[b]) for b in range(self.num_banks)):
+            self._expand()
+        order = np.argsort(banks, kind="stable")
+        sorted_banks = banks[order]
+        # Hand out slots bank by bank, preserving request order.
+        boundaries = np.searchsorted(sorted_banks, np.arange(self.num_banks + 1))
+        for b in range(self.num_banks):
+            lo, hi = boundaries[b], boundaries[b + 1]
+            count = hi - lo
+            if count == 0:
+                continue
+            slots = [self._free[b].pop() for _ in range(count)]
+            out[order[lo:hi]] = slots
+        self.live += int(banks.size)
+        return out
+
+    def free_slot(self, vaddr: int) -> None:
+        """Return a slot to its bank's free list."""
+        if not self.pool.contains(vaddr):
+            raise ValueError(f"{vaddr:#x} is not in the {self.intrlv}B pool")
+        if (vaddr - self.pool.vbase) % self.intrlv:
+            raise ValueError(f"{vaddr:#x} is not slot-aligned in the {self.intrlv}B pool")
+        bank = int(self.pool.bank_of(vaddr))
+        self._free[bank].append(vaddr)
+        self.live -= 1
+
+    def bank_of(self, vaddr: int) -> int:
+        return int(self.pool.bank_of(vaddr))
+
+    def _expand(self) -> None:
+        nbytes = self.num_banks * self.intrlv * self.slots_per_bank_per_expand
+        rng = self.pools.expand(self.intrlv, nbytes)
+        nslots = rng.size // self.intrlv
+        vaddrs = rng.start + np.arange(nslots, dtype=np.int64) * self.intrlv
+        banks = self.pool.bank_of(vaddrs)
+        for va, b in zip(vaddrs.tolist(), banks.tolist()):
+            self._free[b].append(va)
+
+    def free_count(self, bank: int) -> int:
+        return len(self._free[bank])

@@ -1,0 +1,50 @@
+"""Per-bank load tracking for the bank-select policy (paper §5.2).
+
+"Load" is the number of live irregular allocations on each bank — the
+quantity Eq. 4's balance term normalizes by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LoadTracker"]
+
+
+class LoadTracker:
+    def __init__(self, num_banks: int):
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        self._loads = np.zeros(num_banks, dtype=np.float64)
+
+    @property
+    def num_banks(self) -> int:
+        return self._loads.size
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._loads.copy()
+
+    @property
+    def total(self) -> float:
+        return float(self._loads.sum())
+
+    @property
+    def average(self) -> float:
+        return self.total / self._loads.size
+
+    def record(self, bank: int, weight: float = 1.0) -> None:
+        self._loads[bank] += weight
+
+    def remove(self, bank: int, weight: float = 1.0) -> None:
+        self._loads[bank] -= weight
+        if self._loads[bank] < -1e-9:
+            raise ValueError(f"bank {bank} load went negative")
+        self._loads[bank] = max(self._loads[bank], 0.0)
+
+    def imbalance(self) -> float:
+        """Max relative deviation from the mean load (0 = perfectly even)."""
+        avg = self.average
+        if avg <= 0:
+            return 0.0
+        return float(np.abs(self._loads - avg).max() / avg)

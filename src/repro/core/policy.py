@@ -1,0 +1,180 @@
+"""Bank-select policies for irregular allocation (paper §5.2, Fig 13).
+
+The hybrid policy scores every candidate bank by Eq. 4::
+
+    score = avg_hops + H * (load / avg_load - 1)
+
+where ``avg_hops`` is the mean Manhattan distance from the candidate to
+the banks of the provided affinity addresses, ``load`` is the bank's live
+irregular-allocation count, and ``H`` weights load balance against
+affinity.  The bank with the minimum score wins (lowest id on ties, so
+behaviour is deterministic and testable).
+
+* ``Rnd``     — uniform random bank (affinity-oblivious).
+* ``Lnr``     — round-robin (affinity-oblivious).
+* ``Min-Hop`` — Eq. 4 with H = 0 (affinity only; Fig 13 shows its
+  pathological single-bank layouts).
+* ``Hybrid-H``— Eq. 4 with the given H (Hybrid-5 is the paper's default).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arch.mesh import Mesh
+from repro.core.load import LoadTracker
+
+__all__ = [
+    "BankSelectPolicy",
+    "RandomPolicy",
+    "LinearPolicy",
+    "MinHopPolicy",
+    "HybridPolicy",
+    "policy_by_name",
+]
+
+
+class BankSelectPolicy(abc.ABC):
+    """Chooses the bank for one irregular allocation."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, aff_banks: np.ndarray, load: LoadTracker, mesh: Mesh) -> int:
+        """Pick a bank.
+
+        Args:
+            aff_banks: banks of the caller-provided affinity addresses
+                (possibly empty).
+            load: current per-bank irregular allocation counts.
+            mesh: topology, for hop distances.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run state (RNG position, round-robin counter)."""
+
+    def select_batch(self, mean_hops: np.ndarray, load: LoadTracker,
+                     mesh: Mesh) -> np.ndarray:
+        """Pick banks for ``n`` allocations issued back to back.
+
+        Args:
+            mean_hops: ``(n, num_banks)`` matrix — row ``i`` holds the mean
+                hop distance from every candidate bank to allocation ``i``'s
+                affinity addresses (zeros when it has none).
+            load: the live tracker; implementations must update it as they
+                assign, since each choice shifts the balance term for the
+                next one.
+        """
+        raise NotImplementedError
+
+
+class RandomPolicy(BankSelectPolicy):
+    name = "Rnd"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, aff_banks, load, mesh) -> int:
+        return int(self._rng.integers(0, load.num_banks))
+
+    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
+        banks = self._rng.integers(0, load.num_banks, size=mean_hops.shape[0])
+        for b, c in zip(*np.unique(banks, return_counts=True)):
+            load.record(int(b), float(c))
+        return banks.astype(np.int64)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class LinearPolicy(BankSelectPolicy):
+    name = "Lnr"
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, aff_banks, load, mesh) -> int:
+        bank = self._next
+        self._next = (self._next + 1) % load.num_banks
+        return bank
+
+    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
+        n = mean_hops.shape[0]
+        banks = (self._next + np.arange(n)) % load.num_banks
+        self._next = int((self._next + n) % load.num_banks)
+        for b, c in zip(*np.unique(banks, return_counts=True)):
+            load.record(int(b), float(c))
+        return banks.astype(np.int64)
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class HybridPolicy(BankSelectPolicy):
+    """Eq. 4 with load weight H."""
+
+    def __init__(self, h: float):
+        if h < 0:
+            raise ValueError("H must be non-negative")
+        self.h = float(h)
+        self.name = f"Hybrid-{h:g}" if h > 0 else "Min-Hop"
+
+    def select(self, aff_banks, load, mesh) -> int:
+        aff_banks = np.asarray(aff_banks, dtype=np.int64)
+        nb = load.num_banks
+        if aff_banks.size:
+            avg_hops = mesh.hops_to_all(aff_banks).mean(axis=1)
+        else:
+            avg_hops = np.zeros(nb)
+        score = avg_hops.astype(np.float64)
+        if self.h > 0:
+            avg_load = load.average
+            if avg_load > 0:
+                score = score + self.h * (load.loads / avg_load - 1.0)
+        return int(np.argmin(score))
+
+    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
+        """Sequential Eq. 4 over a batch, with the load updating as it goes."""
+        n, nb = mean_hops.shape
+        loads = load.loads  # private working copy
+        out = np.empty(n, dtype=np.int64)
+        h = self.h
+        total = loads.sum()
+        for i in range(n):
+            if h > 0 and total > 0:
+                score = mean_hops[i] + h * (loads / (total / nb) - 1.0)
+            else:
+                score = mean_hops[i]
+            b = int(np.argmin(score))
+            out[i] = b
+            loads[b] += 1.0
+            total += 1.0
+        for b, c in zip(*np.unique(out, return_counts=True)):
+            load.record(int(b), float(c))
+        return out
+
+
+class MinHopPolicy(HybridPolicy):
+    """Affinity-only policy (H = 0)."""
+
+    name = "Min-Hop"
+
+    def __init__(self):
+        super().__init__(0.0)
+
+
+def policy_by_name(name: str, seed: int = 0) -> BankSelectPolicy:
+    """Construct a policy from its Fig 13 label (e.g. ``"Hybrid-5"``)."""
+    if name == "Rnd":
+        return RandomPolicy(seed)
+    if name == "Lnr":
+        return LinearPolicy()
+    if name in ("Min-Hop", "Min-Hops"):
+        return MinHopPolicy()
+    if name.startswith("Hybrid-"):
+        return HybridPolicy(float(name.split("-", 1)[1]))
+    raise ValueError(f"unknown policy {name!r}")

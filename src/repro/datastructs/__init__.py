@@ -1,0 +1,34 @@
+"""Data structures co-optimized with affinity alloc (paper §3.3, §5.3).
+
+Each structure works in two placement regimes:
+
+* **baseline** — nodes come from the conventional heap in realistic
+  build order (interleaved appends, hash-order inserts), which scatters
+  logically-adjacent nodes;
+* **affinity** — nodes are placed by :class:`repro.core.AffinityAllocator`
+  using per-node affinity addresses (previous node, parent, bucket head,
+  pointed-to vertices), which is the paper's contribution.
+
+The structures also compute *functionally correct* results (searches find
+keys, BFS parents are valid) so the workloads double as correctness
+tests of the trace generation.
+"""
+
+from repro.datastructs.dist_queue import GlobalQueue, SpatialQueue
+from repro.datastructs.linked_csr import LinkedCSR
+from repro.datastructs.linked_list import LinkedListSet
+from repro.datastructs.binary_tree import BinaryTree
+from repro.datastructs.hash_table import HashTable
+from repro.datastructs.dynamic_graph import DynamicGraph
+from repro.datastructs.multiqueue import MultiQueue
+
+__all__ = [
+    "GlobalQueue",
+    "SpatialQueue",
+    "LinkedCSR",
+    "LinkedListSet",
+    "BinaryTree",
+    "HashTable",
+    "DynamicGraph",
+    "MultiQueue",
+]

@@ -1,0 +1,110 @@
+"""Work queues: global vs. spatially distributed (paper Fig 9).
+
+``GlobalQueue`` is the conventional structure — one tail counter, one
+storage array; every push is an atomic bump of the (hot) tail plus a
+remote store.
+
+``SpatialQueue`` is the affinity-alloc co-design: one sub-queue per
+vertex partition, with the tail counters and storage *aligned to the
+partitioned vertex array* via the affine API, so a push that originates
+at a vertex's bank is entirely local.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+__all__ = ["GlobalQueue", "SpatialQueue"]
+
+
+class GlobalQueue:
+    """Single shared queue over a plain array."""
+
+    def __init__(self, machine: Machine, capacity: int):
+        self.machine = machine
+        self.capacity = capacity
+        self.storage = alloc_plain_array(machine, 4, capacity, "global-queue")
+        self.tail = alloc_plain_array(machine, 8, 1, "global-queue-tail")
+        self._count = 0
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def push_trace(self, vids: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Placement of ``len(vids)`` pushes.
+
+        Returns (tail banks, slot banks, slot indices); every push hits the
+        single tail counter's bank.
+        """
+        n = np.asarray(vids).size
+        slots = (self._count + np.arange(n)) % self.capacity
+        self._count += n
+        tail_banks = np.full(n, self.tail.bank_of_one(0), dtype=np.int64)
+        slot_banks = self.storage.banks(slots)
+        return tail_banks, slot_banks, slots
+
+
+class SpatialQueue:
+    """One sub-queue per partition, aligned to a partitioned vertex array.
+
+    The storage ``Q[N]`` aligns elementwise with the vertex array ``V[N]``
+    and the tails ``T[P]`` align with the partition starts
+    (``T[j] <-> V[j * part_size]``), exactly the allocation pattern of
+    Fig 9.  ``partition_of(v)`` and all bank queries go through the real
+    handles, so the queue is correct under any layout the runtime chose
+    (including fallbacks).
+    """
+
+    def __init__(self, machine: Machine, allocator: AffinityAllocator,
+                 vertices: ArrayHandle, num_partitions: int = 0):
+        self.machine = machine
+        self.vertices = vertices
+        n = vertices.num_elem
+        p = num_partitions or machine.num_banks
+        self.num_partitions = p
+        self.part_size = -(-n // p)  # ceil
+        self.storage = allocator.malloc_affine(
+            AffineArray(4, n, align_to=vertices), name="spatial-queue")
+        self.tails = allocator.malloc_affine(
+            AffineArray(8, p, align_to=vertices, align_p=self.part_size),
+            name="spatial-queue-tails")
+        self._counts = np.zeros(p, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+
+    def partition_of(self, vids: np.ndarray) -> np.ndarray:
+        return np.minimum(np.asarray(vids, dtype=np.int64) // self.part_size,
+                          self.num_partitions - 1)
+
+    def push_trace(self, vids: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Placement of pushes into the per-partition sub-queues.
+
+        Slot positions advance each partition's running counter (wrapping
+        within the partition, circular-buffer style).  Returns
+        (tail banks, slot banks, slot indices into the storage array).
+        """
+        vids = np.asarray(vids, dtype=np.int64)
+        parts = self.partition_of(vids)
+        # position of each push within its partition: running counter +
+        # rank of the push among same-partition pushes in this call
+        order = np.argsort(parts, kind="stable")
+        sorted_parts = parts[order]
+        uniq, starts, counts = np.unique(sorted_parts, return_index=True,
+                                         return_counts=True)
+        rank_sorted = np.arange(vids.size, dtype=np.int64) - np.repeat(starts, counts)
+        rank = np.empty_like(rank_sorted)
+        rank[order] = rank_sorted
+        offsets = (self._counts[parts] + rank) % self.part_size
+        slots = np.minimum(parts * self.part_size + offsets,
+                           self.storage.num_elem - 1)
+        np.add.at(self._counts, uniq, counts)
+        tail_banks = self.tails.banks(parts)
+        slot_banks = self.storage.banks(slots)
+        return tail_banks, slot_banks, slots

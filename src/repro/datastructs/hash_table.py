@@ -1,0 +1,121 @@
+"""Chained hash table (the ``hash_join`` workload substrate).
+
+Build inserts ``num_keys`` unique keys; each bucket is a short linked
+chain (Table 3: buckets <= 8).  Probes walk the chain until a key match
+(hit) or the chain end (miss; Table 3 hit rate 1/8).
+
+Under affinity alloc, a chain's first node is allocated near the bucket
+head array entry and each subsequent node near its predecessor — the
+``linked_list_append`` pattern of paper Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+__all__ = ["HashTable"]
+
+_NODE_BYTES = 64
+
+
+@dataclass
+class HashTable:
+    machine: Machine
+    num_buckets: int
+    keys: np.ndarray            # stored keys, insertion order
+    buckets: np.ndarray         # bucket of each key
+    chain_pos: np.ndarray       # position of each key within its chain
+    bucket_index: np.ndarray    # CSR over chains: bucket -> node ids
+    bucket_nodes: np.ndarray    # node ids (insertion order) chain-by-chain
+    node_vaddrs: np.ndarray     # vaddr per node (insertion order)
+    heads: ArrayHandle          # bucket head-pointer array
+
+    @classmethod
+    def build(cls, machine: Machine, num_keys: int, num_buckets: int,
+              allocator: Optional[AffinityAllocator] = None,
+              seed: int = 0) -> "HashTable":
+        rng = np.random.default_rng(seed)
+        # unique random keys
+        keys = rng.permutation(num_keys * 8)[:num_keys].astype(np.int64)
+        buckets = keys % num_buckets
+        # chain position = rank among same-bucket keys in insertion order
+        order = np.argsort(buckets, kind="stable")
+        sorted_b = buckets[order]
+        uniq, starts, counts = np.unique(sorted_b, return_index=True,
+                                         return_counts=True)
+        rank_sorted = np.arange(num_keys, dtype=np.int64) - np.repeat(starts, counts)
+        chain_pos = np.empty(num_keys, dtype=np.int64)
+        chain_pos[order] = rank_sorted
+        # CSR over chains (nodes listed bucket by bucket, chain order)
+        bucket_index = np.zeros(num_buckets + 1, dtype=np.int64)
+        np.add.at(bucket_index, buckets + 1, 1)
+        np.cumsum(bucket_index, out=bucket_index)
+        bucket_nodes = order  # sorted stable by bucket = chain order
+
+        if allocator is None:
+            heads = alloc_plain_array(machine, 8, num_buckets, "ht-heads")
+            base = machine.malloc(num_keys * _NODE_BYTES)
+            vaddrs = base + np.arange(num_keys, dtype=np.int64) * _NODE_BYTES
+        else:
+            heads = allocator.malloc_affine(
+                AffineArray(8, num_buckets, partition=True), name="ht-heads")
+            # predecessor in the same bucket (previous insertion into it)
+            prev_ids = np.full(num_keys, -1, dtype=np.int64)
+            not_first = chain_pos > 0
+            # node at chain_pos p of bucket b is bucket_nodes[index[b] + p]
+            prev_slot = bucket_index[buckets] + chain_pos - 1
+            prev_ids[not_first] = bucket_nodes[prev_slot[not_first]]
+            head_addrs = heads.addr_of(buckets)
+            vaddrs = allocator.malloc_irregular_chained(
+                _NODE_BYTES, prev_ids, head_addrs=head_addrs)
+        return cls(machine, num_buckets, keys, buckets, chain_pos,
+                   bucket_index, bucket_nodes, vaddrs, heads)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return self.keys.size
+
+    def chain_length(self, bucket: int) -> int:
+        return int(self.bucket_index[bucket + 1] - self.bucket_index[bucket])
+
+    def lookup(self, key: int) -> bool:
+        b = key % self.num_buckets
+        ids = self.bucket_nodes[self.bucket_index[b]:self.bucket_index[b + 1]]
+        return bool(np.any(self.keys[ids] == key))
+
+    def probe_trace(self, probe_keys: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Chains walked by each probe.
+
+        Returns (node vaddrs concatenated per probe, chain ids, hit mask).
+        Probes of empty buckets contribute no chain (head pointer is null).
+        """
+        probe_keys = np.asarray(probe_keys, dtype=np.int64)
+        b = probe_keys % self.num_buckets
+        chain_len = self.bucket_index[b + 1] - self.bucket_index[b]
+        # hit position: locate the probe key among stored keys
+        sorted_keys = np.sort(self.keys)
+        key_order = np.argsort(self.keys, kind="stable")
+        pos = np.searchsorted(sorted_keys, probe_keys)
+        pos_c = np.minimum(pos, self.num_keys - 1)
+        hit = sorted_keys[pos_c] == probe_keys
+        hit_node = key_order[pos_c]
+        walk_len = np.where(hit, self.chain_pos[hit_node] + 1, chain_len)
+        total = int(walk_len.sum())
+        if total == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), hit)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(walk_len) - walk_len, walk_len)
+        node_ids = self.bucket_nodes[np.repeat(self.bucket_index[b], walk_len)
+                                     + within]
+        nonempty = walk_len > 0
+        chain_ids = np.repeat(np.cumsum(nonempty) - 1, walk_len)
+        return self.node_vaddrs[node_ids], chain_ids, hit

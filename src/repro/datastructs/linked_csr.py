@@ -1,0 +1,129 @@
+"""Linked CSR graph format (paper Fig 11, §5.3).
+
+Edges are stored in fixed-size *nodes* (one cache line: an 8-byte next
+pointer plus up to 14 four-byte edges), linked per vertex.  Each node is
+allocated with affinity to the *pointed-to* vertices of its edges, so the
+indirect update ``P[Edges[i]]`` usually stays within the node's own bank
+(Fig 5(b)) — at the cost of pointer-chasing between nodes, which NSC
+hides by decoupled run-ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.api import AddressView, ArrayHandle
+from repro.core.runtime import AffinityAllocator
+from repro.graphs.csr import CSRGraph
+from repro.machine import Machine
+
+__all__ = ["LinkedCSR"]
+
+_PTR_BYTES = 8
+
+
+@dataclass
+class LinkedCSR:
+    """Linked-node edge storage for one graph."""
+
+    machine: Machine
+    graph: CSRGraph
+    node_bytes: int
+    edge_bytes: int
+    edges_per_node: int
+    node_vaddrs: np.ndarray      # vaddr of each node
+    node_index: np.ndarray       # per-vertex node ranges (len V+1)
+    node_of_edge: np.ndarray     # owning node per edge
+    edge_slot: np.ndarray        # position of each edge within its node
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, machine: Machine, graph: CSRGraph,
+              allocator: Optional[AffinityAllocator] = None,
+              target: Optional[ArrayHandle] = None,
+              node_bytes: int = 64, edge_bytes: int = 4,
+              aff_sample: int = 32) -> "LinkedCSR":
+        """Build from a CSR graph.
+
+        Args:
+            allocator: affinity runtime; ``None`` gives the baseline heap
+                placement (contiguous nodes — what a conversion without
+                affinity alloc would produce).
+            target: the vertex-property array the edges point into; each
+                node's affinity addresses are its edges' entries there
+                (up to ``aff_sample``, paper limit 32).
+            edge_bytes: bytes per stored edge — 4 for a bare destination
+                id, 8 for (destination, weight) pairs as in sssp.
+        """
+        epn = (node_bytes - _PTR_BYTES) // edge_bytes
+        deg = graph.out_degrees()
+        nodes_per_vertex = -(-deg // epn)  # ceil; 0 for isolated vertices
+        node_index = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+        np.cumsum(nodes_per_vertex, out=node_index[1:])
+        n_nodes = int(node_index[-1])
+
+        within = np.arange(graph.num_edges, dtype=np.int64) - np.repeat(
+            graph.index[:-1], deg)
+        node_of_edge = np.repeat(node_index[:-1], deg) + within // epn
+        edge_slot = within % epn
+
+        if n_nodes == 0:
+            vaddrs = np.empty(0, dtype=np.int64)
+        elif allocator is None or target is None:
+            base = machine.malloc(n_nodes * node_bytes)
+            vaddrs = base + np.arange(n_nodes, dtype=np.int64) * node_bytes
+        else:
+            sample = edge_slot < aff_sample
+            aff_addrs = target.addr_of(graph.edges[sample].astype(np.int64))
+            vaddrs = allocator.malloc_irregular_batch(
+                node_bytes, aff_addrs, node_of_edge[sample], n_nodes)
+        return cls(machine, graph, node_bytes, edge_bytes, epn, vaddrs,
+                   node_index, node_of_edge, edge_slot)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.node_vaddrs.size
+
+    def edge_view(self) -> AddressView:
+        """Per-edge addresses inside the linked nodes (executor base)."""
+        addrs = (self.node_vaddrs[self.node_of_edge] + _PTR_BYTES
+                 + self.edge_slot * self.edge_bytes)
+        return AddressView(self.machine, addrs, self.edge_bytes,
+                           "linked-csr-edges")
+
+    def chase_trace(self, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Pointer-chase trace over the node chains of ``vertices``.
+
+        Returns (node vaddrs concatenated chain-by-chain, dense chain ids).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.node_index[vertices]
+        counts = self.node_index[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        node_ids = np.repeat(starts, counts) + within
+        nonempty = counts > 0
+        chain_ids = np.repeat(np.arange(np.count_nonzero(nonempty)),
+                              counts[nonempty])
+        return self.node_vaddrs[node_ids], chain_ids
+
+    def chain_owner_cores(self, vertices: np.ndarray, num_cores: int) -> np.ndarray:
+        """Owning core per non-empty chain (frontier split across cores)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        counts = self.node_index[vertices + 1] - self.node_index[vertices]
+        keep = counts > 0
+        pos = np.flatnonzero(keep)
+        n = vertices.size
+        return (pos * num_cores // max(n, 1)).astype(np.int64)
+
+    def mean_edges_per_node(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.graph.num_edges / self.num_nodes

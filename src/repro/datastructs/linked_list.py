@@ -1,0 +1,81 @@
+"""Collections of linked lists (the ``link_list`` workload substrate).
+
+Lists are built by *interleaved appends* — node ``k`` of every list is
+allocated before node ``k+1`` of any list, the arrival order of streaming
+inserts.  Under the baseline heap this scatters consecutive nodes of one
+list ~``num_lists * 64`` bytes apart (different banks nearly every hop);
+under affinity alloc each node carries its predecessor as the affinity
+address (``malloc_aff(sizeof(Node), 1, &prev)``, paper Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+__all__ = ["LinkedListSet"]
+
+_NODE_BYTES = 64
+
+
+@dataclass
+class LinkedListSet:
+    """``num_lists`` singly linked lists of equal length."""
+
+    machine: Machine
+    num_lists: int
+    nodes_per_list: int
+    node_vaddrs: np.ndarray  # shape (num_lists, nodes_per_list)
+    keys: np.ndarray         # shape (num_lists, nodes_per_list)
+
+    @classmethod
+    def build(cls, machine: Machine, num_lists: int, nodes_per_list: int,
+              allocator: Optional[AffinityAllocator] = None,
+              seed: int = 0) -> "LinkedListSet":
+        rng = np.random.default_rng(seed)
+        n = num_lists * nodes_per_list
+        if allocator is None:
+            base = machine.malloc(n * _NODE_BYTES)
+            flat = base + np.arange(n, dtype=np.int64) * _NODE_BYTES
+        else:
+            # allocation t is node k=t//L of list l=t%L; its predecessor
+            # (node k-1 of list l) was allocation t-L
+            t = np.arange(n, dtype=np.int64)
+            prev_ids = np.where(t >= num_lists, t - num_lists, -1)
+            flat = allocator.malloc_irregular_chained(_NODE_BYTES, prev_ids)
+        # reshape from interleaved order to (list, position)
+        vaddrs = flat.reshape(nodes_per_list, num_lists).T.copy()
+        keys = rng.integers(0, 1 << 31, size=(num_lists, nodes_per_list))
+        return cls(machine, num_lists, nodes_per_list, vaddrs, keys)
+
+    # ------------------------------------------------------------------
+    def search(self, list_id: int, key: int) -> int:
+        """Functional search: position of ``key`` in the list, or -1."""
+        hits = np.flatnonzero(self.keys[list_id] == key)
+        return int(hits[0]) if hits.size else -1
+
+    def search_trace(self, list_ids: np.ndarray,
+                     stop_positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Trace of searches walking each list up to (and including) the
+        stop position (the hit node, or the tail for a miss).
+
+        Returns (node vaddrs concatenated per query, chain ids).
+        """
+        list_ids = np.asarray(list_ids, dtype=np.int64)
+        stops = np.asarray(stop_positions, dtype=np.int64)
+        lengths = stops + 1
+        total = int(lengths.sum())
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths)
+        rows = np.repeat(list_ids, lengths)
+        chain_ids = np.repeat(np.arange(list_ids.size, dtype=np.int64), lengths)
+        return self.node_vaddrs[rows, within], chain_ids
+
+    def all_banks(self) -> np.ndarray:
+        return self.machine.banks_of(self.node_vaddrs.ravel()).reshape(
+            self.node_vaddrs.shape)

@@ -1,0 +1,17 @@
+"""Graph substrate: CSR format, generators, datasets, chunk remapping."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import kronecker, powerlaw, uniform_random
+from repro.graphs.datasets import REAL_WORLD_GRAPHS, load_real_world
+from repro.graphs.partition import chunked_edge_layout, ideal_edge_layout
+
+__all__ = [
+    "CSRGraph",
+    "kronecker",
+    "powerlaw",
+    "uniform_random",
+    "REAL_WORLD_GRAPHS",
+    "load_real_world",
+    "chunked_edge_layout",
+    "ideal_edge_layout",
+]

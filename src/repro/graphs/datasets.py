@@ -1,0 +1,62 @@
+"""Stand-ins for the paper's real-world graphs (Table 4).
+
+The evaluation uses two SNAP social networks that we cannot download in
+this offline environment (DESIGN.md §2 substitution):
+
+========================  ==========  ============  ===========
+graph                     vertices    edges         avg. degree
+========================  ==========  ============  ===========
+twitch-gamers             168,114     13,595,114    81
+gplus                     107,614     13,673,453    127
+========================  ==========  ============  ===========
+
+``load_real_world`` synthesizes a power-law graph matched to those
+statistics (size, average degree, heavy-tailed skew), which are the
+properties the Fig 20 experiment exercises: high-degree, hard-to-
+partition graphs.  A ``scale`` argument shrinks vertex count (keeping
+average degree) so CI-sized runs stay fast; scale=1.0 reproduces the
+full Table 4 sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import powerlaw
+
+__all__ = ["GraphSpec", "REAL_WORLD_GRAPHS", "load_real_world"]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    name: str
+    num_vertices: int
+    num_edges: int
+    kind: str = "power law"
+
+    @property
+    def avg_degree(self) -> int:
+        return round(self.num_edges / self.num_vertices)
+
+
+REAL_WORLD_GRAPHS: Dict[str, GraphSpec] = {
+    "twitch-gamers": GraphSpec("twitch-gamers", 168_114, 13_595_114),
+    "gplus": GraphSpec("gplus", 107_614, 13_673_453),
+}
+
+
+def load_real_world(name: str, scale: float = 1.0, seed: int = 7,
+                    weights_range=None) -> CSRGraph:
+    """Synthesize the named Table 4 graph (optionally down-scaled)."""
+    try:
+        spec = REAL_WORLD_GRAPHS[name]
+    except KeyError:
+        raise KeyError(f"unknown graph {name!r}; "
+                       f"available: {sorted(REAL_WORLD_GRAPHS)}") from None
+    if not (0 < scale <= 1.0):
+        raise ValueError("scale must be in (0, 1]")
+    nv = max(int(spec.num_vertices * scale), 1024)
+    return powerlaw(nv, spec.avg_degree, exponent=2.0, seed=seed,
+                    weights_range=weights_range)

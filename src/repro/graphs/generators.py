@@ -1,0 +1,101 @@
+"""Synthetic graph generators.
+
+* :func:`kronecker` — the Graph500/GAP R-MAT style generator the paper's
+  Table 3 uses (A/B/C = 0.57/0.19/0.19).
+* :func:`powerlaw` — configuration-model power-law graphs with a
+  controllable *average degree* at fixed edge count (Fig 19's sweep).
+* :func:`uniform_random` — Erdős–Rényi-style uniform edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["kronecker", "powerlaw", "uniform_random"]
+
+
+def kronecker(scale: int, edge_factor: int = 16, a: float = 0.57,
+              b: float = 0.19, c: float = 0.19, seed: int = 0,
+              weights_range: Optional[tuple] = None) -> CSRGraph:
+    """Kronecker (R-MAT) graph with ``2**scale`` vertices.
+
+    Follows the Graph500 specification: each edge picks one quadrant per
+    bit level with probabilities (a, b, c, 1-a-b-c).  The paper's graph
+    inputs are "Kronecker generated, 128k nodes 4M edges,
+    A/B/C: 0.57/0.19/0.19" (Table 3) — i.e. ``scale=17, edge_factor=32``.
+
+    Args:
+        weights_range: optional (lo, hi) for integer edge weights
+            (Table 3: sssp weights in [1, 255]).
+    """
+    if not (0 < a < 1 and 0 <= b < 1 and 0 <= c < 1 and a + b + c < 1):
+        raise ValueError("invalid R-MAT probabilities")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab
+    c_norm = c / (1.0 - ab)
+    for _ in range(scale):
+        src <<= 1
+        dst <<= 1
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        down = r1 > ab          # lower half of the adjacency matrix
+        right = np.where(down, r2 > c_norm, r2 > a_norm)
+        src += down
+        dst += right
+    # Permute vertex ids so degree doesn't correlate with id (Graph500).
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+    weights = None
+    if weights_range is not None:
+        lo, hi = weights_range
+        weights = rng.integers(lo, hi + 1, size=m).astype(np.int32)
+    return CSRGraph.from_edge_list(n, src, dst, weights)
+
+
+def powerlaw(num_vertices: int, avg_degree: float, exponent: float = 2.1,
+             seed: int = 0, weights_range: Optional[tuple] = None) -> CSRGraph:
+    """Power-law graph with a target average degree (Fig 19 sweep).
+
+    Uses a configuration-style model: per-vertex expected degrees are
+    drawn from a truncated Pareto distribution with the given exponent,
+    rescaled so the total edge count is ``num_vertices * avg_degree``;
+    edge endpoints are then sampled proportionally to expected degree.
+    """
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    rng = np.random.default_rng(seed)
+    m = int(num_vertices * avg_degree)
+    # Pareto-distributed weights, truncated to avoid one vertex owning
+    # most edges.
+    w = (1.0 + rng.pareto(exponent - 1.0, size=num_vertices))
+    w = np.minimum(w, num_vertices ** 0.5)
+    p = w / w.sum()
+    src = rng.choice(num_vertices, size=m, p=p)
+    dst = rng.choice(num_vertices, size=m, p=p)
+    weights = None
+    if weights_range is not None:
+        lo, hi = weights_range
+        weights = rng.integers(lo, hi + 1, size=m).astype(np.int32)
+    return CSRGraph.from_edge_list(num_vertices, src, dst, weights)
+
+
+def uniform_random(num_vertices: int, num_edges: int, seed: int = 0,
+                   weights_range: Optional[tuple] = None) -> CSRGraph:
+    """Uniform random multigraph."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    weights = None
+    if weights_range is not None:
+        lo, hi = weights_range
+        weights = rng.integers(lo, hi + 1, size=num_edges).astype(np.int32)
+    return CSRGraph.from_edge_list(num_vertices, src, dst, weights)

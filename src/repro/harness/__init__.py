@@ -1,0 +1,47 @@
+"""Experiment harness: one function per paper figure/table.
+
+Each ``figNN_*`` function runs the corresponding experiment and returns a
+plain-data result object; :mod:`repro.harness.report` renders the same
+rows/series the paper plots, as ASCII tables.
+"""
+
+from repro.harness.experiments import (
+    fig4_vecadd_delta,
+    fig6_chunk_remap,
+    fig12_overall,
+    fig13_policies,
+    fig14_atomic_timeline,
+    fig15_affine_scaling,
+    fig16_graph_scaling,
+    fig17_bfs_iterations,
+    fig18_push_pull_timeline,
+    fig19_degree_sweep,
+    fig20_real_world,
+)
+from repro.harness.report import ascii_table, render
+from repro.harness.tables import (
+    table1_iot_format,
+    table2_system_parameters,
+    table3_workloads,
+    table4_real_world_graphs,
+)
+
+__all__ = [
+    "fig4_vecadd_delta",
+    "fig6_chunk_remap",
+    "fig12_overall",
+    "fig13_policies",
+    "fig14_atomic_timeline",
+    "fig15_affine_scaling",
+    "fig16_graph_scaling",
+    "fig17_bfs_iterations",
+    "fig18_push_pull_timeline",
+    "fig19_degree_sweep",
+    "fig20_real_world",
+    "ascii_table",
+    "render",
+    "table1_iot_format",
+    "table2_system_parameters",
+    "table3_workloads",
+    "table4_real_world_graphs",
+]

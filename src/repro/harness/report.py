@@ -1,0 +1,34 @@
+"""ASCII rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["ascii_table", "render"]
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],
+                float_fmt: str = "{:.3f}") -> str:
+    """Render rows as a fixed-width table; floats formatted uniformly."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    srows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render(result) -> str:
+    """Render any harness result object carrying ``title``, ``headers``
+    and ``rows()``."""
+    body = ascii_table(result.headers, result.rows())
+    return f"== {result.title} ==\n{body}"

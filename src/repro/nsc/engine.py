@@ -1,0 +1,67 @@
+"""Engine modes and the SEcore offload decision (paper §2.2, §6).
+
+The three configurations of the evaluation:
+
+* ``IN_CORE``   — the wide OOO baseline with prefetchers; nothing is
+  offloaded.
+* ``NEAR_L3``   — near-stream computing: streams and their computation run
+  at L3-bank stream engines, but data layout is whatever plain ``malloc``
+  produced (affinity-oblivious).
+* ``AFF_ALLOC`` — near-stream computing plus affinity allocation (and the
+  co-designed data structures where the workload has one).
+
+``decide_offload`` models the core stream engine's heuristic: offload
+unless the stream is short or expects high private-cache reuse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nsc.stream import StreamGraph
+
+__all__ = ["EngineMode", "OffloadDecision", "decide_offload"]
+
+
+class EngineMode(enum.Enum):
+    IN_CORE = "In-Core"
+    NEAR_L3 = "Near-L3"
+    AFF_ALLOC = "Aff-Alloc"
+
+    @property
+    def offloads(self) -> bool:
+        return self is not EngineMode.IN_CORE
+
+    @property
+    def affinity_aware(self) -> bool:
+        return self is EngineMode.AFF_ALLOC
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    offload: bool
+    reason: str
+
+
+# SEcore heuristics: a stream shorter than this many elements is not worth
+# a configuration round-trip; expected reuse above this threshold means the
+# private caches will win.
+MIN_OFFLOAD_LENGTH = 128
+MAX_OFFLOAD_REUSE = 2.0
+
+
+def decide_offload(graph: StreamGraph, mode: EngineMode) -> OffloadDecision:
+    """Decide whether SEcore offloads the kernel's streams to SEL3."""
+    if not mode.offloads:
+        return OffloadDecision(False, "in-core configuration")
+    streams = graph.streams
+    if not streams:
+        return OffloadDecision(False, "no streams")
+    longest = max(s.length for s in streams)
+    if longest < MIN_OFFLOAD_LENGTH:
+        return OffloadDecision(False, f"short streams (max {longest} iters)")
+    avg_reuse = sum(s.reuse for s in streams) / len(streams)
+    if avg_reuse > MAX_OFFLOAD_REUSE:
+        return OffloadDecision(False, f"high private-cache reuse ({avg_reuse:.1f})")
+    return OffloadDecision(True, "long low-reuse streams")

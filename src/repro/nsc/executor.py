@@ -1,0 +1,453 @@
+"""Vectorized trace executor for in-core and near-stream execution.
+
+Workload kernels call these primitives with *element traces* (arrays of
+element indices in iteration order, plus the owning core of each
+iteration).  The executor turns them into the events the perf model needs,
+with the message conventions of the paper's Figs 1/3/5:
+
+==================  ==============================================  =========
+primitive           IN_CORE                                          offloaded
+==================  ==============================================  =========
+affine_kernel       lines fetched to the core (req + line resp,      streams read/write at their banks;
+                    write-allocate + write-back for stores)          operands *forwarded* between banks
+                                                                     (zero messages when colocated);
+                                                                     stream migration between banks
+indirect_gather     per-core line fetches of the pointed data        request to the target bank, value
+                    (deduplicated: private-cache reuse)              response back (pull reduction)
+indirect_atomic     coherence ping-pong per atomic (req + line +     one small request bank-to-bank,
+                    hand-off)                                        atomic executes at the target bank
+pointer_chase       serialized round trips core<->bank per node,     stream migrates bank-to-bank,
+                    limited MLP                                      deep run-ahead (paper §5.3)
+queue_push          tail-line coherence + slot store                 atomic at the tail's bank; free when
+                                                                     the push source is colocated
+==================  ==============================================  =========
+
+Iterative kernels whose per-iteration trace is identical (stencils,
+PageRank's edge scan) pass ``repeat=k`` instead of re-tracing: all event
+*counts* scale by ``k`` while the trace is walked once.
+
+All primitives accept numpy arrays and aggregate with ``bincount`` /
+``unique``; per-element Python loops never happen.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.noc import MessageClass
+from repro.core.api import ArrayHandle
+from repro.machine import Machine
+from repro.nsc.engine import EngineMode
+from repro.perf.stats import RunRecorder
+
+__all__ = ["StreamExecutor"]
+
+# Message payload conventions (bytes).
+_CONFIG_BYTES = 32    # stream configuration (paper: one packet to SEL3)
+_MIGRATE_BYTES = 16   # stream migration state hand-off
+_IND_REQ_BYTES = 8    # indirect request: target address
+_CREDIT_BYTES = 0     # flow-control credit (header-only)
+
+# Memory-level parallelism for pointer chasing: a core's run-ahead is
+# ROB-limited (paper §5.3); decoupled SEL3 streams run far ahead.
+_CORE_CHASE_MLP = 4.0
+_NSC_CHASE_MLP = 12.0
+_L2_LATENCY = 16.0
+
+
+def _consecutive_dedup(values: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """Mask of entries starting a new run of equal ``values`` within the
+    same ``groups`` entry (both arrays in iteration order)."""
+    if values.size == 0:
+        return np.zeros(0, dtype=bool)
+    first = np.ones(values.size, dtype=bool)
+    first[1:] = (values[1:] != values[:-1]) | (groups[1:] != groups[:-1])
+    return first
+
+
+class StreamExecutor:
+    """Execution primitives for one run."""
+
+    def __init__(self, machine: Machine, recorder: RunRecorder, mode: EngineMode):
+        self.machine = machine
+        self.rec = recorder
+        self.mode = mode
+        self.line = machine.config.cache.line_bytes
+        self.perf = machine.config.perf
+        self.l3_latency = float(machine.config.cache.access_latency)
+        self.hop_latency = float(machine.config.noc.hop_latency)
+
+    # ------------------------------------------------------------------
+    # Small shared helpers
+    # ------------------------------------------------------------------
+    def _banks_and_lines(self, handle, idx: np.ndarray):
+        addrs = handle.addr_of(idx)
+        paddrs = self.machine.translate(addrs)
+        banks = self.machine.llc.banks_of(paddrs)
+        lines = paddrs // self.line
+        return banks, lines
+
+    def _fetch_lines_to_core(self, cores, banks, lines, store: bool = False,
+                             repeat: float = 1.0) -> None:
+        """In-core line movement: request out, line back (and write-back)."""
+        new = _consecutive_dedup(lines, cores)
+        c, b = cores[new], banks[new]
+        self.rec.traffic.record(c, b, 0, MessageClass.CONTROL, count=repeat)
+        self.rec.traffic.record(b, c, self.line, MessageClass.DATA, count=repeat)
+        self.rec.add_bank_accesses(b, repeat)
+        if store:
+            self.rec.traffic.record(c, b, self.line, MessageClass.DATA, count=repeat)
+            self.rec.add_bank_accesses(b, repeat)
+
+    def _offload_config(self, cores: np.ndarray, first_banks: np.ndarray,
+                        repeat: float = 1.0) -> None:
+        """One stream-configuration packet per (core, stream chunk)."""
+        self.rec.traffic.record(cores, first_banks, _CONFIG_BYTES,
+                                MessageClass.OFFLOAD, count=repeat)
+
+    def _capacity_filter(self, cores: np.ndarray, lines: np.ndarray):
+        """Finite-private-cache reuse filter for random accesses.
+
+        Dedups (core, line) pairs, then scales the fetch count back up for
+        the fraction of re-references that no longer fit the per-core
+        private cache (Table 2: 256 KB L2): a core whose touched footprint
+        exceeds capacity re-fetches ``(1 - capacity/footprint)`` of its
+        repeats.
+
+        Returns (indices of unique entries, per-entry fetch multiplicity,
+        per-core miss rate among all accesses).
+        """
+        nc = self.machine.num_cores
+        cap = float(self.machine.config.cache.private_cache_bytes)
+        key = cores * np.int64(1 << 48) + lines
+        _, first = np.unique(key, return_index=True)
+        u_per_core = np.bincount(cores[first], minlength=nc).astype(np.float64)
+        a_per_core = np.bincount(cores, minlength=nc).astype(np.float64)
+        footprint = u_per_core * self.line
+        p_hit = np.minimum(1.0, cap / np.maximum(footprint, 1.0))
+        fetches = u_per_core + (a_per_core - u_per_core) * (1.0 - p_hit)
+        factor = fetches / np.maximum(u_per_core, 1.0)
+        miss_rate = fetches / np.maximum(a_per_core, 1.0)
+        return first, factor[cores[first]], miss_rate
+
+    def _config_pairs(self, cores, banks):
+        """For each active core, (core, bank of its first element)."""
+        active, first = np.unique(cores, return_index=True)
+        return active, banks[first]
+
+    def _migrations(self, banks: np.ndarray, lines: np.ndarray,
+                    groups: np.ndarray, repeat: float = 1.0) -> None:
+        """Stream migration messages between consecutive distinct lines."""
+        new = _consecutive_dedup(lines, groups)
+        b, g = banks[new], groups[new]
+        if b.size < 2:
+            return
+        moved = (b[1:] != b[:-1]) & (g[1:] == g[:-1])
+        self.rec.traffic.record(b[:-1][moved], b[1:][moved], _MIGRATE_BYTES,
+                                MessageClass.OFFLOAD, count=repeat)
+
+    def _credits(self, cores: np.ndarray, banks: np.ndarray,
+                 repeat: float = 1.0) -> None:
+        """Coarse-grained flow control: one credit round trip per
+        ``credit_iters`` iterations per core (paper §2.2)."""
+        k = self.perf.credit_iters
+        active, first, counts = np.unique(cores, return_index=True,
+                                          return_counts=True)
+        if active.size == 0:
+            return
+        n_credits = np.ceil(counts / k) * repeat
+        peer = banks[first]  # each core's first bank is the credit peer
+        self.rec.traffic.record(active, peer, _CREDIT_BYTES,
+                                MessageClass.CONTROL, count=n_credits)
+        self.rec.traffic.record(peer, active, _CREDIT_BYTES,
+                                MessageClass.CONTROL, count=n_credits)
+
+    # ------------------------------------------------------------------
+    # Affine kernels
+    # ------------------------------------------------------------------
+    def affine_kernel(self, cores, ins: Sequence[Tuple[ArrayHandle, np.ndarray]],
+                      out: Optional[Tuple[ArrayHandle, np.ndarray]] = None,
+                      ops_per_elem: float = 1.0, repeat: float = 1.0) -> None:
+        """Elementwise kernel ``out[i] = f(ins[0][i], ins[1][i], ...)``.
+
+        Args:
+            cores: core owning each iteration (array, iteration order).
+            ins: input streams as (handle, element-index array) pairs.
+            out: optional output stream.
+            ops_per_elem: compute ops per iteration.
+            repeat: number of identical iterations this trace stands for.
+        """
+        cores = np.asarray(cores, dtype=np.int64)
+        n = cores.size
+        if n == 0:
+            return
+        in_bl = [self._banks_and_lines(h, np.asarray(i)) for h, i in ins]
+        out_bl = self._banks_and_lines(out[0], np.asarray(out[1])) if out else None
+
+        if not self.mode.offloads:
+            # Private caches keep lines shared between input streams of the
+            # same array hot (e.g. the three row-offset streams of a
+            # stencil): fetch each distinct (core, handle, line) once.
+            seen = {}
+            for (h, _i), (banks, lines) in zip(ins, in_bl):
+                seen.setdefault(id(h), []).append((banks, lines))
+            for group in seen.values():
+                banks = np.concatenate([b for b, _ in group])
+                lines = np.concatenate([l for _, l in group])
+                gcores = np.concatenate([cores] * len(group))
+                key = gcores * np.int64(1 << 48) + lines
+                _, first = np.unique(key, return_index=True)
+                c, b = gcores[first], banks[first]
+                self.rec.traffic.record(c, b, 0, MessageClass.CONTROL,
+                                        count=repeat)
+                self.rec.traffic.record(b, c, self.line, MessageClass.DATA,
+                                        count=repeat)
+                self.rec.add_bank_accesses(b, repeat)
+            if out_bl:
+                self._fetch_lines_to_core(cores, out_bl[0], out_bl[1],
+                                          store=True, repeat=repeat)
+            self.rec.add_core_ops(cores, (ops_per_elem + 1.0) * repeat)
+            self.rec.add_private_accesses(n * (len(ins) + (1 if out else 0)) * repeat)
+            return
+
+        # Offloaded: compute happens at the consumer (out) bank, or at the
+        # first input's bank for a pure read.  Streams over the *same*
+        # array (a stencil's offset streams) are coalesced the way the NSC
+        # stream engine serves them: one bank read per line, one forwarded
+        # message per distinct (source line, consumer bank), one migrating
+        # walk per array.
+        consumer_banks = out_bl[0] if out_bl else in_bl[0][0]
+        groups = {}
+        for (h, _idx), bl in zip(ins, in_bl):
+            groups.setdefault(id(h), (h, []))[1].append(bl)
+        for h, bls in groups.values():
+            banks = np.concatenate([b for b, _ in bls])
+            lines = np.concatenate([l for _, l in bls])
+            self._offload_config(*self._config_pairs(cores, bls[0][0]),
+                                 repeat=repeat)
+            # one bank read per distinct line of this array
+            _, first = np.unique(lines, return_index=True)
+            self.rec.add_bank_accesses(banks[first], repeat)
+            # forward operands to the consumer where not colocated,
+            # aggregated per (source line, consumer bank)
+            if out_bl is not None:
+                cb = np.concatenate([consumer_banks] * len(bls))
+                need = banks != cb
+                if need.any():
+                    src_b, dst_b, counts = self._group_pairs(
+                        lines[need], banks[need], cb[need])
+                    self.rec.traffic.record(
+                        src_b, dst_b,
+                        np.minimum(counts * h.elem_size, self.line),
+                        MessageClass.DATA, count=repeat)
+            self._migrations(bls[0][0], bls[0][1], cores, repeat)
+        if out_bl is not None:
+            obanks, olines = out_bl
+            new = _consecutive_dedup(olines, cores)
+            self.rec.add_bank_accesses(obanks[new], repeat)
+            self._migrations(obanks, olines, cores, repeat)
+            self._offload_config(*self._config_pairs(cores, obanks), repeat=repeat)
+            self.rec.add_near_ops(obanks, ops_per_elem * repeat)
+        else:
+            self.rec.add_near_ops(in_bl[0][0], ops_per_elem * repeat)
+        self._credits(cores, consumer_banks, repeat)
+
+    def _group_pairs(self, lines, src_banks, dst_banks):
+        """Aggregate (source line -> dest bank) forwarding messages."""
+        key = lines * np.int64(self.machine.num_banks) + dst_banks
+        _uniq, first, counts = np.unique(key, return_index=True,
+                                         return_counts=True)
+        return src_banks[first], dst_banks[first], counts
+
+    # ------------------------------------------------------------------
+    # Indirect access
+    # ------------------------------------------------------------------
+    def indirect_gather(self, cores, base: Tuple[ArrayHandle, np.ndarray],
+                        target: Tuple[ArrayHandle, np.ndarray],
+                        ops_per_elem: float = 1.0, value_bytes: int = 8,
+                        repeat: float = 1.0) -> None:
+        """Pull-style ``acc += target[f(base[i])]`` — values come back.
+
+        ``base`` is where address generation happens (the stream walking
+        the index structure); ``target`` is the pointed-to data.
+        """
+        cores = np.asarray(cores, dtype=np.int64)
+        b_banks, _b_lines = self._banks_and_lines(base[0], np.asarray(base[1]))
+        t_banks, t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
+        if not self.mode.offloads:
+            # Private caches keep hot target lines, limited by capacity.
+            first, mult, _miss = self._capacity_filter(cores, t_lines)
+            c, b = cores[first], t_banks[first]
+            self.rec.traffic.record(c, b, 0, MessageClass.CONTROL,
+                                    count=mult * repeat)
+            self.rec.traffic.record(b, c, self.line, MessageClass.DATA,
+                                    count=mult * repeat)
+            self.rec.add_bank_accesses(b, mult * repeat)
+            self.rec.add_core_ops(cores, (ops_per_elem + 1.0) * repeat)
+            self.rec.add_private_accesses(cores.size * repeat)
+            return
+        # Offloaded: request out, value back to the requesting bank.
+        remote = b_banks != t_banks
+        self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
+                                MessageClass.CONTROL, count=repeat)
+        self.rec.traffic.record(t_banks[remote], b_banks[remote], value_bytes,
+                                MessageClass.DATA, count=repeat)
+        self.rec.add_bank_accesses(t_banks, repeat)
+        self.rec.add_remote_reqs(t_banks[remote], repeat)
+        self.rec.add_near_ops(b_banks, ops_per_elem * repeat)
+        self._credits(cores, b_banks, repeat)
+
+    def indirect_atomic(self, cores, base: Tuple[ArrayHandle, np.ndarray],
+                        target: Tuple[ArrayHandle, np.ndarray],
+                        ops_per_elem: float = 1.0, repeat: float = 1.0) -> None:
+        """Push-style ``atomic_op(target[f(base[i])])`` — no value returns."""
+        cores = np.asarray(cores, dtype=np.int64)
+        b_banks, _ = self._banks_and_lines(base[0], np.asarray(base[1]))
+        t_banks, _t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
+        if not self.mode.offloads:
+            # Coherence ping-pong: every atomic pulls the line exclusive
+            # (request + line) and hands it off again (line out).
+            self.rec.traffic.record(cores, t_banks, 0, MessageClass.CONTROL,
+                                    count=repeat)
+            self.rec.traffic.record(t_banks, cores, self.line, MessageClass.DATA,
+                                    count=repeat)
+            self.rec.traffic.record(cores, t_banks, self.line, MessageClass.DATA,
+                                    count=repeat)
+            self.rec.add_bank_accesses(t_banks, repeat)
+            self.rec.add_core_ops(cores, (ops_per_elem + 2.0) * repeat)
+            self.rec.add_private_accesses(cores.size * repeat)
+            return
+        remote = b_banks != t_banks
+        self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
+                                MessageClass.CONTROL, count=repeat)
+        self.rec.add_bank_atomics(t_banks, repeat)
+        self.rec.add_remote_reqs(t_banks[remote], repeat)
+        self.rec.add_near_ops(t_banks, ops_per_elem * repeat)
+        self._credits(cores, b_banks, repeat)
+
+    # ------------------------------------------------------------------
+    # Pointer chasing
+    # ------------------------------------------------------------------
+    def pointer_chase(self, node_vaddrs, chain_ids, chain_cores,
+                      ops_per_node: float = 1.0, value_bytes: int = 8,
+                      repeat: float = 1.0) -> None:
+        """Walk linked chains of nodes.
+
+        Args:
+            node_vaddrs: node addresses, concatenated chain by chain, each
+                chain in traversal order.
+            chain_ids: chain id per node (non-decreasing, dense from 0).
+            chain_cores: owning core per *chain* (indexed by chain id).
+        """
+        node_vaddrs = np.asarray(node_vaddrs, dtype=np.int64)
+        chain_ids = np.asarray(chain_ids, dtype=np.int64)
+        chain_cores = np.asarray(chain_cores, dtype=np.int64)
+        if node_vaddrs.size == 0:
+            return
+        paddrs = self.machine.translate(node_vaddrs)
+        banks = self.machine.llc.banks_of(paddrs)
+        cores = chain_cores[chain_ids]
+        nchains = chain_cores.size
+        all_cores = np.arange(self.machine.num_cores)
+
+        if not self.mode.offloads:
+            # Every node is a dependent round trip core <-> bank, except
+            # the hot top of the structure (tree roots, list heads) that
+            # the private cache retains across chains.
+            lines = paddrs // self.line
+            first, mult, miss_rate = self._capacity_filter(cores, lines)
+            c, b = cores[first], banks[first]
+            self.rec.traffic.record(c, b, 0, MessageClass.CONTROL,
+                                    count=mult * repeat)
+            self.rec.traffic.record(b, c, self.line, MessageClass.DATA,
+                                    count=mult * repeat)
+            self.rec.add_bank_accesses(b, mult * repeat)
+            self.rec.add_core_ops(cores, (ops_per_node + 2.0) * repeat)
+            self.rec.add_private_accesses(node_vaddrs.size * repeat)
+            hops = self.machine.mesh.hops(cores, banks)
+            miss_step = (2.0 * hops * self.hop_latency + self.l3_latency
+                         + _L2_LATENCY)
+            mr = miss_rate[cores]
+            step_lat = mr * miss_step + (1.0 - mr) * _L2_LATENCY
+            per_chain = np.bincount(chain_ids, weights=step_lat, minlength=nchains)
+            per_core = np.bincount(chain_cores, weights=per_chain,
+                                   minlength=self.machine.num_cores)
+            self.rec.add_serial_cycles(all_cores,
+                                       per_core * repeat / _CORE_CHASE_MLP)
+            return
+
+        # Offloaded: one config per chain, migration between banks,
+        # local access per node, final value back to the core.
+        first = _consecutive_dedup(chain_ids, chain_ids)  # first node per chain
+        self._offload_config(cores[first], banks[first], repeat)
+        same_chain = chain_ids[1:] == chain_ids[:-1]
+        moved = (banks[1:] != banks[:-1]) & same_chain
+        self.rec.traffic.record(banks[:-1][moved], banks[1:][moved],
+                                _MIGRATE_BYTES, MessageClass.OFFLOAD,
+                                count=repeat)
+        self.rec.add_bank_accesses(banks, repeat)
+        self.rec.add_near_ops(banks, ops_per_node * repeat)
+        # final response per chain
+        last = np.zeros(node_vaddrs.size, dtype=bool)
+        last[:-1] = ~same_chain
+        last[-1] = True
+        self.rec.traffic.record(banks[last], cores[last], value_bytes,
+                                MessageClass.CONTROL, count=repeat)
+        # Serial latency: migration hops plus the bank access per node.
+        step_lat = np.full(node_vaddrs.size, self.l3_latency)
+        hop_cost = self.machine.mesh.hops(banks[:-1], banks[1:]) * self.hop_latency
+        step_lat[1:] += np.where(same_chain, hop_cost, 0.0)
+        per_chain = np.bincount(chain_ids, weights=step_lat, minlength=nchains)
+        per_core = np.bincount(chain_cores, weights=per_chain,
+                               minlength=self.machine.num_cores)
+        self.rec.add_serial_cycles(all_cores,
+                                   per_core * repeat / _NSC_CHASE_MLP)
+
+    # ------------------------------------------------------------------
+    # Work queues
+    # ------------------------------------------------------------------
+    def queue_push(self, cores, src_banks, tail_banks, slot_banks,
+                   payload_bytes: int = 4) -> None:
+        """Push values into a queue: atomic tail bump + slot store.
+
+        ``src_banks`` is where each push originates (the bank that decided
+        to push, e.g. where the CAS succeeded); with a spatially
+        distributed queue these match ``tail_banks``/``slot_banks`` and the
+        push is free of NoC traffic (paper Fig 9).
+        """
+        cores = np.asarray(cores, dtype=np.int64)
+        src_banks = np.asarray(src_banks, dtype=np.int64)
+        tail_banks = np.asarray(tail_banks, dtype=np.int64)
+        slot_banks = np.asarray(slot_banks, dtype=np.int64)
+        if not self.mode.offloads:
+            # tail counter: coherence atomic; slot store: write-allocate
+            self.rec.traffic.record(cores, tail_banks, 0, MessageClass.CONTROL)
+            self.rec.traffic.record(tail_banks, cores, self.line, MessageClass.DATA)
+            self.rec.traffic.record(cores, tail_banks, self.line, MessageClass.DATA)
+            self.rec.add_bank_accesses(tail_banks)
+            self.rec.traffic.record(cores, slot_banks, 0, MessageClass.CONTROL)
+            self.rec.traffic.record(slot_banks, cores, self.line, MessageClass.DATA)
+            self.rec.traffic.record(cores, slot_banks, self.line, MessageClass.DATA)
+            self.rec.add_bank_accesses(slot_banks)
+            self.rec.add_core_ops(cores, 4.0)
+            self.rec.add_private_accesses(2 * cores.size)
+            return
+        rt = src_banks != tail_banks
+        self.rec.traffic.record(src_banks[rt], tail_banks[rt], _IND_REQ_BYTES,
+                                MessageClass.CONTROL)
+        self.rec.add_bank_atomics(tail_banks)
+        self.rec.add_remote_reqs(tail_banks[rt])
+        rs = src_banks != slot_banks
+        self.rec.traffic.record(src_banks[rs], slot_banks[rs], payload_bytes,
+                                MessageClass.DATA)
+        self.rec.add_bank_accesses(slot_banks)
+        self.rec.add_remote_reqs(slot_banks[rs])
+        self.rec.add_near_ops(src_banks, 1.0)
+
+    # ------------------------------------------------------------------
+    def core_compute(self, cores, ops) -> None:
+        """Miscellaneous core-side work (setup, scalar reductions)."""
+        self.rec.add_core_ops(np.asarray(cores, dtype=np.int64),
+                              np.asarray(ops, dtype=np.float64))

@@ -1,0 +1,16 @@
+"""Performance accounting: run recording, bottleneck timing, comparisons."""
+
+from repro.perf.stats import PhaseStats, RunRecorder
+from repro.perf.model import PerfModel, RunResult
+from repro.perf.compare import energy_efficiency, geomean, speedup, traffic_ratio
+
+__all__ = [
+    "PhaseStats",
+    "RunRecorder",
+    "PerfModel",
+    "RunResult",
+    "speedup",
+    "energy_efficiency",
+    "traffic_ratio",
+    "geomean",
+]

@@ -1,0 +1,21 @@
+"""Simulated OS memory layer: address space, regions, interleave pools.
+
+The OS's role in affinity alloc (paper §4.1) is deliberately small: it
+reserves one virtual segment per power-of-two interleaving ("interleave
+pools"), backs each with *contiguous* physical pages on demand, and tells
+the hardware about them with one IOT entry per pool.  Everything else
+(which pool, which slot, which bank) is the runtime's job.
+"""
+
+from repro.vm.layout import AddressSpace, LinearRegion, PagedRegion, VirtualLayout
+from repro.vm.pools import InterleavePool, PoolManager, POOL_INTERLEAVES
+
+__all__ = [
+    "AddressSpace",
+    "LinearRegion",
+    "PagedRegion",
+    "VirtualLayout",
+    "InterleavePool",
+    "PoolManager",
+    "POOL_INTERLEAVES",
+]

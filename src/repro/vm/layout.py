@@ -1,0 +1,174 @@
+"""Virtual address space map and translation.
+
+The simulator uses real integer addresses (they index nothing — data lives
+in numpy arrays owned by the data structures) so that bank mapping, IOT
+lookup, and allocator arithmetic behave exactly as in the paper.
+
+Three region kinds cover every mapping the paper needs:
+
+* ``LinearRegion`` — virtual range mapped to one contiguous physical
+  range.  Used for the heap (baseline malloc) and for every interleave
+  pool (paper §4.1 "backed by contiguous physical addresses similar to a
+  segment").
+* ``PagedRegion`` — per-4-KiB-page mapping.  Used for the "Random" layout
+  of Fig 4 (each virtual page -> random physical page) and for
+  beyond-page-size interleavings (paper footnote 4: virtual pages mapped
+  to 4 KiB-interleaved physical pages at the desired bank).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.address import AddressRange
+
+__all__ = ["LinearRegion", "PagedRegion", "AddressSpace", "VirtualLayout"]
+
+
+class LinearRegion:
+    """Contiguous virtual->physical mapping (segment-style)."""
+
+    def __init__(self, name: str, vbase: int, pbase: int, size: int):
+        self.name = name
+        self.vrange = AddressRange(vbase, vbase + size)
+        self.pbase = pbase
+
+    def translate(self, vaddrs: np.ndarray) -> np.ndarray:
+        return vaddrs - self.vrange.start + self.pbase
+
+    def __repr__(self) -> str:
+        return f"LinearRegion({self.name}, v={self.vrange.start:#x}+{self.vrange.size:#x})"
+
+
+class PagedRegion:
+    """Per-page virtual->physical mapping.
+
+    The page table is a growable numpy array of frame base addresses; a
+    frame of -1 means unmapped (touching it raises, like a segfault).
+    """
+
+    def __init__(self, name: str, vbase: int, size: int, page_size: int = 4096):
+        if size % page_size:
+            raise ValueError("PagedRegion size must be page aligned")
+        self.name = name
+        self.vrange = AddressRange(vbase, vbase + size)
+        self.page_size = page_size
+        self.max_pages = size // page_size
+        # Growable frame table: only as large as the highest mapped page
+        # (the reservation is 1 TiB; preallocating it would be absurd).
+        self._frames = np.empty(0, dtype=np.int64)
+
+    def _grow_to(self, npages: int) -> None:
+        if npages <= self._frames.size:
+            return
+        cap = max(npages, self._frames.size * 2, 64)
+        grown = np.full(min(cap, self.max_pages), -1, dtype=np.int64)
+        grown[:self._frames.size] = self._frames
+        self._frames = grown
+
+    def map_page(self, vpage_index: int, frame_paddr: int) -> None:
+        if frame_paddr % self.page_size:
+            raise ValueError("frame must be page aligned")
+        if not (0 <= vpage_index < self.max_pages):
+            raise ValueError("page index outside the region")
+        self._grow_to(vpage_index + 1)
+        self._frames[vpage_index] = frame_paddr
+
+    def frame_of(self, vpage_index: int) -> int:
+        if vpage_index >= self._frames.size:
+            return -1
+        return int(self._frames[vpage_index])
+
+    def translate(self, vaddrs: np.ndarray) -> np.ndarray:
+        offs = vaddrs - self.vrange.start
+        pages = offs // self.page_size
+        if pages.size and pages.max() >= self._frames.size:
+            bad = vaddrs[pages >= self._frames.size][0]
+            raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")
+        frames = self._frames[pages]
+        if (frames < 0).any():
+            bad = vaddrs[frames < 0][0]
+            raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")
+        return frames + offs % self.page_size
+
+    def __repr__(self) -> str:
+        return f"PagedRegion({self.name}, v={self.vrange.start:#x}+{self.vrange.size:#x})"
+
+
+class AddressSpace:
+    """Sorted collection of non-overlapping regions with vectorized translate."""
+
+    def __init__(self):
+        self._regions: List = []
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+
+    def add(self, region) -> None:
+        for r in self._regions:
+            if r.vrange.overlaps(region.vrange):
+                raise ValueError(f"{region} overlaps {r}")
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.vrange.start)
+        self._starts = np.array([r.vrange.start for r in self._regions], dtype=np.int64)
+        self._ends = np.array([r.vrange.end for r in self._regions], dtype=np.int64)
+
+    def region_of(self, vaddr: int):
+        idx = int(np.searchsorted(self._starts, vaddr, side="right")) - 1
+        if idx >= 0 and vaddr < self._ends[idx]:
+            return self._regions[idx]
+        return None
+
+    def translate(self, vaddrs) -> np.ndarray:
+        """Virtual -> physical for scalar or array addresses."""
+        vaddrs = np.atleast_1d(np.asarray(vaddrs, dtype=np.int64))
+        out = np.empty_like(vaddrs)
+        idx = np.searchsorted(self._starts, vaddrs, side="right") - 1
+        if (idx < 0).any():
+            bad = vaddrs[idx < 0][0]
+            raise RuntimeError(f"unmapped virtual address {int(bad):#x}")
+        for rid in np.unique(idx):
+            region = self._regions[rid]
+            mask = idx == rid
+            addrs = vaddrs[mask]
+            if (addrs >= self._ends[rid]).any():
+                bad = addrs[addrs >= self._ends[rid]][0]
+                raise RuntimeError(f"unmapped virtual address {int(bad):#x}")
+            out[mask] = region.translate(addrs)
+        return out
+
+    def translate_one(self, vaddr: int) -> int:
+        return int(self.translate(np.asarray([vaddr]))[0])
+
+
+class VirtualLayout:
+    """Fixed virtual-layout constants for a simulated process.
+
+    Mirrors the paper: 7 interleave pools of 1 TiB each (~2.7% of the
+    48-bit space), plus a conventional heap and a paged segment for
+    page-granularity mappings.
+    """
+
+    TIB = 1 << 40
+
+    HEAP_VBASE = 0x0100_0000_0000
+    HEAP_SIZE = TIB
+    PAGED_VBASE = 0x0300_0000_0000
+    PAGED_SIZE = TIB
+    POOL_VBASE = 0x1000_0000_0000
+    POOL_STRIDE = TIB  # 1 TiB reserved per pool
+
+    # Physical windows (a 48-bit paper machine; purely arithmetic here).
+    HEAP_PBASE = 0x0000_1000_0000
+    POOL_PBASE = 0x2000_0000_0000
+    POOL_PSTRIDE = TIB
+    PAGED_PBASE = 0x5000_0000_0000
+
+    @classmethod
+    def pool_vbase(cls, pool_index: int) -> int:
+        return cls.POOL_VBASE + pool_index * cls.POOL_STRIDE
+
+    @classmethod
+    def pool_pbase(cls, pool_index: int) -> int:
+        return cls.POOL_PBASE + pool_index * cls.POOL_PSTRIDE

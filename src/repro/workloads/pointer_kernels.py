@@ -1,0 +1,140 @@
+"""Pointer-chasing workloads: link_list, hash_join, bin_tree (Table 3).
+
+* ``link_list`` — 1k lists of 512 nodes (8B keys), one search per list.
+* ``hash_join`` — probe a 256k-key chained hash table with 512k keys,
+  hit rate 1/8, buckets <= 8.
+* ``bin_tree`` — 128k-node unbalanced BST, 512k uniform lookups.
+
+All three build their structures in realistic insertion order; under
+``AFF_ALLOC`` nodes carry affinity addresses (previous node / bucket head
+/ parent) so the runtime colocates chains (paper Fig 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.datastructs.binary_tree import BinaryTree
+from repro.datastructs.hash_table import HashTable
+from repro.datastructs.linked_list import LinkedListSet
+from repro.nsc.engine import EngineMode
+from repro.perf.model import RunResult
+from repro.workloads.base import Workload, make_context, register
+
+__all__ = ["LinkListSearch", "HashJoin", "BinTreeLookup"]
+
+
+@register
+class LinkListSearch(Workload):
+    name = "link_list"
+    layout_kind = "Ptr-Chasing"
+    SCALED_PARAMS = ("num_lists",)
+
+    def default_params(self) -> Dict:
+        return {"num_lists": 1000, "nodes_per_list": 512, "queries_per_list": 1}
+
+    def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
+            policy=None, scale: float = 1.0, seed: int = 0,
+            **overrides) -> RunResult:
+        p = self.params(scale, **overrides)
+        nl, npl = p["num_lists"], p["nodes_per_list"]
+        ctx = make_context(mode, config, policy, seed)
+        lists = LinkedListSet.build(ctx.machine, nl, npl,
+                                    allocator=ctx.allocator, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        nq = nl * p["queries_per_list"]
+        list_ids = np.tile(np.arange(nl, dtype=np.int64),
+                           p["queries_per_list"])
+        # each query searches for a key sitting at a uniform position
+        stop_pos = rng.integers(0, npl, size=nq)
+        node_vaddrs, chain_ids = lists.search_trace(list_ids, stop_pos)
+        chain_cores = ctx.cores_of_positions(np.arange(nq), nq)
+        ctx.executor.pointer_chase(node_vaddrs, chain_ids, chain_cores,
+                                   ops_per_node=1.0)
+        # functional: confirm the searched keys are found where expected
+        hits = np.array([lists.search(int(l), int(lists.keys[l, s]))
+                         for l, s in zip(list_ids[:16], stop_pos[:16])])
+        found_frac = float(np.mean(hits >= 0))
+        res = ctx.finish(f"link_list/{mode.value}", value=found_frac)
+        res.counters["nodes_walked"] = float(node_vaddrs.size)
+        return res
+
+
+@register
+class HashJoin(Workload):
+    name = "hash_join"
+    layout_kind = "Ptr-Chasing"
+    SCALED_PARAMS = ("build_keys", "probe_keys", "buckets")
+
+    def default_params(self) -> Dict:
+        # 256k build keys joined against 512k probes, hit rate 1/8,
+        # chains bounded (~4 avg with 64k buckets)
+        return {"build_keys": 1 << 18, "probe_keys": 1 << 19,
+                "buckets": 1 << 16, "hit_rate": 0.125}
+
+    def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
+            policy=None, scale: float = 1.0, seed: int = 0,
+            **overrides) -> RunResult:
+        p = self.params(scale, **overrides)
+        ctx = make_context(mode, config, policy, seed)
+        table = HashTable.build(ctx.machine, p["build_keys"], p["buckets"],
+                                allocator=ctx.allocator, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        nq = p["probe_keys"]
+        n_hit = int(nq * p["hit_rate"])
+        hit_keys = table.keys[rng.integers(0, table.num_keys, n_hit)]
+        # misses: keys guaranteed absent (beyond the build key space)
+        miss_keys = (np.int64(table.num_keys) * 8
+                     + rng.integers(0, 1 << 40, nq - n_hit))
+        probe_keys = np.concatenate([hit_keys, miss_keys])
+        rng.shuffle(probe_keys)
+        # probe-key stream (affine read) + head-pointer lookup
+        probes_h = ctx.alloc(8, nq, "probe-keys")
+        idx = np.arange(nq, dtype=np.int64)
+        cores = ctx.cores_for(nq)
+        ctx.executor.affine_kernel(cores, [(probes_h, idx)], ops_per_elem=2.0)
+        buckets = probe_keys % table.num_buckets
+        ctx.executor.indirect_gather(cores, (probes_h, idx),
+                                     (table.heads, buckets), ops_per_elem=1.0)
+        node_vaddrs, chain_ids, hit = table.probe_trace(probe_keys)
+        nonempty_probes = np.unique(chain_ids).size
+        chain_cores = ctx.cores_of_positions(np.arange(max(nonempty_probes, 1)),
+                                             max(nonempty_probes, 1))
+        ctx.executor.pointer_chase(node_vaddrs, chain_ids, chain_cores,
+                                   ops_per_node=1.0)
+        res = ctx.finish(f"hash_join/{mode.value}", value=float(hit.mean()))
+        res.counters["hit_rate"] = float(hit.mean())
+        res.counters["nodes_walked"] = float(node_vaddrs.size)
+        return res
+
+
+@register
+class BinTreeLookup(Workload):
+    name = "bin_tree"
+    layout_kind = "Ptr-Chasing"
+    SCALED_PARAMS = ("num_keys", "lookups")
+
+    def default_params(self) -> Dict:
+        return {"num_keys": 1 << 17, "lookups": 1 << 19}
+
+    def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
+            policy=None, scale: float = 1.0, seed: int = 0,
+            **overrides) -> RunResult:
+        p = self.params(scale, **overrides)
+        ctx = make_context(mode, config, policy, seed)
+        tree = BinaryTree.build(ctx.machine, p["num_keys"],
+                                allocator=ctx.allocator, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        queries = rng.integers(0, p["num_keys"], size=p["lookups"])
+        node_vaddrs, chain_ids, depths = tree.lookup_trace(queries)
+        chain_cores = ctx.cores_of_positions(np.arange(queries.size),
+                                             queries.size)
+        ctx.executor.pointer_chase(node_vaddrs, chain_ids, chain_cores,
+                                   ops_per_node=1.0)
+        res = ctx.finish(f"bin_tree/{mode.value}", value=float(depths.mean()))
+        res.counters["mean_depth"] = float(depths.mean())
+        res.counters["nodes_walked"] = float(node_vaddrs.size)
+        return res

@@ -1,0 +1,168 @@
+"""Affine layout solving (Eq. 2/3, intra-array, partition, padding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affine import LayoutKind, solve_affine_layout
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def allocator(machine):
+    return AffinityAllocator(machine)
+
+
+def solve(machine, spec):
+    return solve_affine_layout(spec, machine.pools, machine.mesh,
+                               machine.config.cache.line_bytes,
+                               machine.config.page_size)
+
+
+class TestDefaults:
+    def test_default_is_cache_line_pool(self, machine):
+        lay = solve(machine, AffineArray(4, 1000))
+        assert lay.kind is LayoutKind.POOL
+        assert lay.intrlv == 64
+        assert lay.start_bank == 0
+
+
+class TestEq3InterArray:
+    def test_same_elem_same_interleave(self, allocator, machine):
+        a = allocator.malloc_affine(AffineArray(4, 100))
+        lay = solve(machine, AffineArray(4, 100, align_to=a))
+        assert lay.intrlv == 64
+
+    def test_double_elem_doubles_interleave(self, allocator, machine):
+        """Fig 8(b): double C[N] aligned to float A[N] gets 2x interleave."""
+        a = allocator.malloc_affine(AffineArray(4, 100))
+        lay = solve(machine, AffineArray(8, 100, align_to=a))
+        assert lay.intrlv == 128
+
+    def test_ratio_p_over_q(self, allocator, machine):
+        # B[i] -> A[2*i]: B advances half as fast in A's index space,
+        # so for same elem size B needs half the interleave... which is
+        # sub-line -> padded stride
+        a = allocator.malloc_affine(AffineArray(4, 100))
+        lay = solve(machine, AffineArray(4, 50, align_to=a, align_p=2))
+        assert lay.kind is LayoutKind.POOL
+        assert lay.intrlv == 64
+        assert lay.stride == 8  # padded: 2 source elements per B element
+
+    def test_q_over_p(self, allocator, machine):
+        # B[i] -> A[i/2]: B needs double interleave
+        a = allocator.malloc_affine(AffineArray(4, 100))
+        lay = solve(machine, AffineArray(4, 200, align_to=a, align_q=2))
+        assert lay.intrlv == 128
+
+    def test_align_x_offsets_start_bank(self, allocator, machine):
+        a = allocator.malloc_affine(AffineArray(4, 10000))
+        # A[16] is exactly one 64B slot in: start bank 1
+        lay = solve(machine, AffineArray(4, 100, align_to=a, align_x=16))
+        assert lay.start_bank == 1
+
+    def test_imperfect_align_x_falls_back(self, allocator, machine):
+        a = allocator.malloc_affine(AffineArray(4, 10000))
+        # A[3] is mid-slot: not a multiple of the interleave
+        lay = solve(machine, AffineArray(4, 100, align_to=a, align_x=3))
+        assert lay.kind is LayoutKind.FALLBACK
+
+    def test_beyond_page_interleave_paged(self, allocator, machine):
+        v = allocator.malloc_affine(AffineArray(8, 1 << 17, partition=True))
+        lay = solve(machine, AffineArray(4, 1 << 17, align_to=v))
+        assert lay.kind is LayoutKind.PAGED
+        assert lay.intrlv % 4096 == 0
+
+    def test_align_to_plain_array_falls_back(self, machine):
+        from repro.core.api import alloc_plain_array
+        a = alloc_plain_array(machine, 4, 100)
+        lay = solve(machine, AffineArray(4, 100, align_to=a))
+        assert lay.kind is LayoutKind.FALLBACK
+
+    @settings(max_examples=60, deadline=None)
+    @given(ea=st.sampled_from([2, 4, 8, 16]), eb=st.sampled_from([2, 4, 8, 16]),
+           p=st.integers(1, 4), q=st.integers(1, 4))
+    def test_pool_layout_implies_perfect_alignment(self, ea, eb, p, q):
+        """Whenever the solver chooses a POOL layout, allocating with it
+        really colocates B[i] with A[(p/q) i] — checked through the full
+        hardware mapping path."""
+        machine = Machine()
+        allocator = AffinityAllocator(machine)
+        n = 4096
+        a = allocator.malloc_affine(AffineArray(ea, n * max(p, 1)))
+        spec = AffineArray(eb, n, align_to=a, align_p=p, align_q=q)
+        lay = solve(machine, spec)
+        if lay.kind is not LayoutKind.POOL:
+            return
+        b = allocator.malloc_affine(spec)
+        i = np.arange(0, n, q)  # indices where (p/q)*i is integral
+        target = (i * p) // q
+        assert (b.banks(i) == a.banks(target)).all()
+
+
+class TestIntraArray:
+    def test_row_affinity_picks_zero_distance_when_possible(self, machine):
+        # row of 8 KiB = 128 x 64B slots = exactly 2 wraps of 64 banks:
+        # elements i and i+N share a bank at 64B interleave
+        lay = solve(machine, AffineArray(4, 1 << 20, align_x=2048))
+        assert lay.kind is LayoutKind.POOL
+        rowb = 2048 * 4
+        assert (rowb // lay.intrlv) % 64 == 0
+
+    def test_small_row_fits_in_slot(self, machine):
+        # 16-element rows of 4B = 64B: pick an interleave holding >= 1 row
+        lay = solve(machine, AffineArray(4, 1 << 16, align_x=16))
+        assert lay.intrlv >= 64
+
+    def test_requires_unit_ratio(self):
+        with pytest.raises(ValueError):
+            AffineArray(4, 100, align_x=10, align_p=2)
+
+
+class TestPartition:
+    def test_small_array_uses_pool(self, machine):
+        # 64 KiB over 64 banks = 1 KiB chunks: a valid pool interleave
+        lay = solve(machine, AffineArray(4, 1 << 14, partition=True))
+        assert lay.kind is LayoutKind.POOL
+        assert lay.intrlv == 1024
+
+    def test_large_array_goes_paged(self, machine):
+        lay = solve(machine, AffineArray(8, 1 << 17, partition=True))
+        assert lay.kind is LayoutKind.PAGED
+        assert lay.intrlv % 4096 == 0
+
+    def test_partition_covers_all_banks(self, allocator):
+        v = allocator.malloc_affine(AffineArray(8, 1 << 17, partition=True))
+        assert len(set(v.all_banks().tolist())) == 64
+
+    def test_partition_banks_monotonic(self, allocator):
+        v = allocator.malloc_affine(AffineArray(8, 1 << 17, partition=True))
+        banks = v.all_banks()
+        # element bank is non-decreasing (chunk j on bank j)
+        assert (np.diff(banks) >= 0).all()
+
+    def test_partition_with_align_to_rejected(self, allocator):
+        v = allocator.malloc_affine(AffineArray(8, 1024, partition=True))
+        with pytest.raises(ValueError):
+            AffineArray(8, 1024, align_to=v, partition=True)
+
+
+class TestSpecValidation:
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            AffineArray(0, 10)
+        with pytest.raises(ValueError):
+            AffineArray(4, 0)
+
+    def test_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            AffineArray(4, 10, align_p=0)
+        with pytest.raises(ValueError):
+            AffineArray(4, 10, align_x=-1)

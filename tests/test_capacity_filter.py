@@ -1,0 +1,50 @@
+"""The in-core private-cache reuse filter (finite-capacity dedup)."""
+
+import numpy as np
+import pytest
+
+from repro.nsc.engine import EngineMode
+from repro.workloads.base import make_context
+
+
+@pytest.fixture
+def executor():
+    ctx = make_context(EngineMode.IN_CORE)
+    return ctx.executor
+
+
+class TestCapacityFilter:
+    def test_small_footprint_full_dedup(self, executor):
+        # one core touching 2 lines 100 times: 2 fetches
+        cores = np.zeros(100, dtype=np.int64)
+        lines = np.tile(np.array([5, 9]), 50)
+        first, mult, miss = executor._capacity_filter(cores, lines)
+        assert first.size == 2
+        assert mult == pytest.approx([1.0, 1.0])
+        assert miss[0] == pytest.approx(2 / 100)
+
+    def test_overflowing_footprint_refetches(self, executor):
+        # one core touching 8192 distinct lines (512 KiB > 256 KiB L2)
+        # twice each: half of the repeats miss again
+        cores = np.zeros(16384, dtype=np.int64)
+        lines = np.tile(np.arange(8192), 2)
+        first, mult, miss = executor._capacity_filter(cores, lines)
+        assert first.size == 8192
+        expected_fetches = 8192 + 8192 * 0.5
+        assert mult.sum() == pytest.approx(expected_fetches)
+        assert miss[0] == pytest.approx(expected_fetches / 16384)
+
+    def test_per_core_independent(self, executor):
+        cores = np.array([0] * 10 + [1] * 10, dtype=np.int64)
+        lines = np.concatenate([np.zeros(10), np.arange(10)]).astype(np.int64)
+        first, mult, miss = executor._capacity_filter(cores, lines)
+        # core 0 touched one line (10 accesses), core 1 ten lines
+        assert miss[0] == pytest.approx(0.1)
+        assert miss[1] == pytest.approx(1.0)
+
+    def test_all_unique_no_amplification(self, executor):
+        cores = np.zeros(64, dtype=np.int64)
+        lines = np.arange(64)
+        _, mult, miss = executor._capacity_filter(cores, lines)
+        assert mult == pytest.approx(np.ones(64))
+        assert miss[0] == pytest.approx(1.0)

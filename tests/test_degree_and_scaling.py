@@ -1,0 +1,39 @@
+"""Smoke tests for the remaining sweep experiments (Figs 16/19)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.harness import fig16_graph_scaling, fig19_degree_sweep
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19_degree_sweep(workloads=("pr_push",),
+                                  degrees=(4, 64), total_edges=1 << 15)
+
+    def test_all_rows_present(self, result):
+        rows = [r for r in result.rows() if r[0] == "pr_push"]
+        assert len(rows) == 2
+
+    def test_hybrid_beats_rnd(self, result):
+        for row in result.rows():
+            if row[0] == "pr_push":
+                assert row[2] > 0.9  # Hybrid-5 vs Rnd
+
+    def test_geomean_rows(self, result):
+        gms = [r for r in result.rows() if r[0] == "geomean"]
+        assert len(gms) == 2
+
+
+class TestFig16:
+    def test_miss_grows_with_graph(self):
+        cfg = DEFAULT_CONFIG.scaled(cache=dataclasses.replace(
+            DEFAULT_CONFIG.cache, bank_capacity_bytes=8 << 10))
+        res = fig16_graph_scaling(workloads=("pr_push",),
+                                  log_sizes=(11, 13), config=cfg)
+        rows = [r for r in res.rows() if r[0] == "pr_push"]
+        assert rows[1][4] >= rows[0][4]  # miss% non-decreasing
+        assert rows[0][2] > 0.5          # Hybrid-5 sane at small size

@@ -1,0 +1,91 @@
+"""Global vs spatially distributed work queues (paper Fig 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.datastructs.dist_queue import GlobalQueue, SpatialQueue
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def spatial(machine):
+    alloc = AffinityAllocator(machine)
+    v = alloc.malloc_affine(AffineArray(8, 1 << 14, partition=True), name="V")
+    return SpatialQueue(machine, alloc, v), v
+
+
+class TestGlobalQueue:
+    def test_single_hot_tail(self, machine):
+        q = GlobalQueue(machine, 1024)
+        tb, sb, slots = q.push_trace(np.arange(100))
+        assert len(set(tb.tolist())) == 1  # one tail bank for everything
+
+    def test_slots_advance(self, machine):
+        q = GlobalQueue(machine, 1024)
+        _, _, s1 = q.push_trace(np.arange(10))
+        _, _, s2 = q.push_trace(np.arange(5))
+        assert list(s1) == list(range(10))
+        assert list(s2) == [10, 11, 12, 13, 14]
+
+    def test_wraps_at_capacity(self, machine):
+        q = GlobalQueue(machine, 8)
+        _, _, s = q.push_trace(np.arange(10))
+        assert s.max() < 8
+
+    def test_reset(self, machine):
+        q = GlobalQueue(machine, 64)
+        q.push_trace(np.arange(10))
+        q.reset()
+        _, _, s = q.push_trace(np.arange(1))
+        assert s[0] == 0
+
+
+class TestSpatialQueue:
+    def test_pushes_are_local_to_partition(self, spatial):
+        q, v = spatial
+        vids = np.array([0, 1, 9000, 16383])
+        tb, sb, _ = q.push_trace(vids)
+        vb = v.banks(vids)
+        assert (tb == vb).all()
+        assert (sb == vb).all()
+
+    def test_partition_of_matches_vertex_banks(self, spatial):
+        q, v = spatial
+        vids = np.arange(0, 1 << 14, 997)
+        parts = q.partition_of(vids)
+        # the tails array is aligned so tail[j] sits on partition j's bank
+        assert (q.tails.banks(parts) == v.banks(vids)).all()
+
+    def test_slots_unique_within_partition(self, spatial):
+        q, _ = spatial
+        vids = np.full(10, 5)  # ten pushes into one partition
+        _, _, slots = q.push_trace(vids)
+        assert len(set(slots.tolist())) == 10
+
+    def test_counters_persist_across_calls(self, spatial):
+        q, _ = spatial
+        _, _, s1 = q.push_trace(np.array([5]))
+        _, _, s2 = q.push_trace(np.array([5]))
+        assert s2[0] == s1[0] + 1
+
+    def test_reset(self, spatial):
+        q, _ = spatial
+        _, _, s1 = q.push_trace(np.array([5]))
+        q.reset()
+        _, _, s2 = q.push_trace(np.array([5]))
+        assert s2[0] == s1[0]
+
+    def test_wraps_within_partition(self, spatial):
+        q, _ = spatial
+        n = q.part_size + 5
+        _, _, slots = q.push_trace(np.full(n, 3))
+        part_lo = 3 // 1 * 0  # partition of vertex 3 is 0
+        assert slots.min() >= 0
+        assert slots.max() < q.part_size  # stayed inside partition 0

@@ -1,0 +1,69 @@
+"""DRAM channel model and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dram import DramModel
+from repro.arch.energy import EnergyBreakdown, EnergyModel
+from repro.arch.mesh import Mesh
+from repro.config import DramConfig, PerfParams
+
+
+class TestDram:
+    def test_controllers_at_corners(self):
+        dram = DramModel(Mesh(8, 8), DramConfig())
+        assert dram.controller_tiles == [0, 7, 56, 63]
+
+    def test_fewer_channels(self):
+        dram = DramModel(Mesh(8, 8), DramConfig(channels=2))
+        assert dram.controller_tiles == [0, 7]
+
+    def test_channel_spread(self):
+        dram = DramModel(Mesh(8, 8), DramConfig())
+        ch = dram.channel_for(np.arange(64))
+        assert set(ch.tolist()) == {0, 1, 2, 3}
+
+    def test_bottleneck_cycles(self):
+        dram = DramModel(Mesh(8, 8), DramConfig())
+        dram.record_miss_traffic(np.array([0]), 64.0, np.array([100.0]))
+        # 6400 bytes / 12.8 B per cycle = 500 cycles on channel 0
+        assert dram.bottleneck_cycles() == pytest.approx(500.0)
+
+    def test_balanced_load_faster_than_hot(self):
+        hot = DramModel(Mesh(8, 8), DramConfig())
+        hot.record_miss_traffic(np.array([0]), 64.0, np.array([400.0]))
+        spread = DramModel(Mesh(8, 8), DramConfig())
+        spread.record_miss_traffic(np.arange(4), 64.0, np.full(4, 100.0))
+        assert spread.bottleneck_cycles() < hot.bottleneck_cycles()
+
+    def test_reset(self):
+        dram = DramModel(Mesh(8, 8), DramConfig())
+        dram.record_miss_traffic(np.array([0]), 64.0, np.array([1.0]))
+        dram.reset()
+        assert dram.bottleneck_cycles() == 0.0
+
+
+class TestEnergy:
+    def test_breakdown_total(self):
+        b = EnergyBreakdown(noc=1, l3=2, private_cache=3, dram=4,
+                            core_compute=5, near_compute=6)
+        assert b.total == 21
+        assert set(b.as_dict()) == {"noc", "l3", "private_cache", "dram",
+                                    "core_compute", "near_compute"}
+
+    def test_model_applies_constants(self):
+        p = PerfParams()
+        e = EnergyModel(p).compute(flit_hops=10, l3_accesses=2,
+                                   private_accesses=3, dram_accesses=1,
+                                   core_ops=4, near_ops=5)
+        assert e.noc == 10 * p.pj_per_hop_flit
+        assert e.l3 == 2 * p.pj_l3_access
+        assert e.dram == 1 * p.pj_dram_access
+        assert e.core_compute == 4 * p.pj_core_op
+        assert e.near_compute == 5 * p.pj_near_op
+
+    def test_zero_events_zero_energy(self):
+        e = EnergyModel(PerfParams()).compute(
+            flit_hops=0, l3_accesses=0, private_accesses=0, dram_accesses=0,
+            core_ops=0, near_ops=0)
+        assert e.total == 0.0

@@ -1,0 +1,105 @@
+"""GraphSetup internals: property allocation, edge structures, pull scans."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.nsc.engine import EngineMode
+from repro.workloads.base import make_context
+from repro.workloads.graph_kernels import GraphSetup, _pull_scan
+
+
+@pytest.fixture
+def graph():
+    src = [0, 0, 1, 1, 2, 3]
+    dst = [1, 2, 2, 3, 3, 0]
+    return CSRGraph.from_edge_list(4, src, dst)
+
+
+class TestGraphSetup:
+    def test_aff_mode_partitions_and_links(self, graph):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        s = GraphSetup(ctx, graph, ["parent"], "parent")
+        assert s.linked is not None
+        assert s.index_h is None
+        # main prop partitioned: layout says so
+        assert s.main.layout is not None
+
+    def test_plain_mode_uses_csr_arrays(self, graph):
+        ctx = make_context(EngineMode.NEAR_L3)
+        s = GraphSetup(ctx, graph, ["parent"], "parent")
+        assert s.linked is None
+        assert s.index_h is not None
+        assert s.edges_h is not None
+
+    def test_use_linked_false_under_aff(self, graph):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        s = GraphSetup(ctx, graph, ["parent"], "parent", use_linked=False)
+        assert s.linked is None
+
+    def test_weighted_uses_8b_edges(self, graph):
+        ctx = make_context(EngineMode.NEAR_L3)
+        s = GraphSetup(ctx, graph, ["dist"], "dist", weighted=True)
+        assert s.edges_h.elem_size == 8
+
+    def test_bad_edge_layout_rejected(self, graph):
+        ctx = make_context(EngineMode.NEAR_L3)
+        with pytest.raises(ValueError):
+            GraphSetup(ctx, graph, ["p"], "p", edge_layout=("bogus",))
+
+    def test_scan_edges_returns_frontier_edges(self, graph):
+        ctx = make_context(EngineMode.NEAR_L3)
+        s = GraphSetup(ctx, graph, ["parent"], "parent")
+        edge_idx, ecores, dsts = s.scan_edges(np.array([0, 1]))
+        assert list(dsts) == [1, 2, 2, 3]
+        assert edge_idx.size == 4
+        assert ecores.size == 4
+
+    def test_scan_edges_records_traffic(self, graph):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        s = GraphSetup(ctx, graph, ["parent"], "parent")
+        before = ctx.recorder.bank_line_accesses.sum()
+        s.scan_edges(np.arange(4))
+        assert ctx.recorder.bank_line_accesses.sum() > before
+
+
+class TestPullScan:
+    def test_finds_frontier_parent(self, graph):
+        gt = graph.transpose()
+        in_frontier = np.zeros(4, dtype=bool)
+        in_frontier[0] = True
+        unvisited = np.array([1, 2])
+        scanned, scan_len, parents = _pull_scan(gt, unvisited, in_frontier)
+        # both 1 and 2 have 0 as an in-neighbor
+        assert parents[0] == 0 and parents[1] == 0
+
+    def test_scans_stop_at_first_hit(self, graph):
+        gt = graph.transpose()
+        in_frontier = np.ones(4, dtype=bool)  # everyone is a parent
+        unvisited = np.array([3])
+        scanned, scan_len, parents = _pull_scan(gt, unvisited, in_frontier)
+        assert scan_len[0] == 1  # first in-neighbor hits
+        assert parents[0] >= 0
+
+    def test_not_found_scans_everything(self, graph):
+        gt = graph.transpose()
+        in_frontier = np.zeros(4, dtype=bool)
+        unvisited = np.array([3])
+        scanned, scan_len, parents = _pull_scan(gt, unvisited, in_frontier)
+        deg3 = gt.index[4] - gt.index[3]
+        assert scan_len[0] == deg3
+        assert parents[0] == -1
+
+    def test_isolated_vertex(self):
+        g = CSRGraph.from_edge_list(3, [0], [1])
+        gt = g.transpose()
+        in_frontier = np.zeros(3, dtype=bool)
+        scanned, scan_len, parents = _pull_scan(gt, np.array([2]), in_frontier)
+        assert scanned.size == 0
+        assert parents[0] == -1
+
+    def test_empty_unvisited(self, graph):
+        gt = graph.transpose()
+        scanned, scan_len, parents = _pull_scan(
+            gt, np.empty(0, dtype=np.int64), np.zeros(4, dtype=bool))
+        assert scanned.size == 0 and parents.size == 0

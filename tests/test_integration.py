@@ -1,0 +1,98 @@
+"""Cross-layer integration: a full workload run keeps every layer coherent."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+from repro.nsc.engine import EngineMode
+from repro.workloads import run_workload
+from repro.workloads.base import make_context
+
+
+class TestFullStackCoherence:
+    def test_pool_iot_llc_agree(self):
+        """The pool's Eq. 1 arithmetic, the IOT's mapping, and the full
+        translate-then-hash path must all give the same bank."""
+        m = Machine()
+        alloc = AffinityAllocator(m)
+        h = alloc.malloc_affine(AffineArray(4, 1 << 14))
+        pool = m.pools.pool_containing(h.vaddr)
+        idx = np.arange(0, 1 << 14, 53)
+        vaddrs = h.addr_of(idx)
+        via_pool = pool.bank_of(vaddrs)
+        via_hw = m.banks_of(vaddrs)
+        assert (via_pool == via_hw).all()
+
+    def test_iot_entries_bounded_by_pools(self):
+        """Even a workload touching every structure stays within the
+        paper's 16-entry IOT (one entry per touched pool)."""
+        r = run_workload("bfs", EngineMode.AFF_ALLOC, scale=0.03)
+        assert r is not None
+        # re-run with direct access to the machine
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        alloc = ctx.allocator
+        alloc.malloc_affine(AffineArray(4, 1 << 14))
+        alloc.malloc_affine(AffineArray(8, 1 << 15, partition=True))
+        alloc.malloc_irregular(64)
+        alloc.malloc_irregular(3000)
+        assert len(ctx.machine.iot) <= 7
+
+    def test_pool_expansion_syscalls_counted(self):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        for _ in range(3000):
+            ctx.allocator.malloc_irregular(64)
+        pool = ctx.machine.pools.pool(64)
+        assert pool.expansions >= 1
+        assert pool.backed_bytes >= 3000 * 64
+
+    def test_footprint_matches_llc_capacity_math(self):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        # 128 MiB of irregular data on a 64 MiB LLC -> ~50% capacity miss
+        per_bank = (2 << 20) // 4096
+        for b in range(64):
+            for _ in range(per_bank):
+                pass
+        ctx.allocator.malloc_irregular_batch(
+            4096, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            64 * per_bank)
+        frac = ctx.machine.llc.bank_miss_fraction()
+        assert frac.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_run_result_traffic_consistent_with_phases(self):
+        r = run_workload("bfs_push", EngineMode.AFF_ALLOC, scale=0.03)
+        phase_flits = sum(p.total_flits() for p in r.phases)
+        assert phase_flits == pytest.approx(r.counters["total_flits"])
+
+    def test_energy_breakdown_sums(self):
+        r = run_workload("pr_push", EngineMode.NEAR_L3, scale=0.03)
+        assert r.energy.total == pytest.approx(sum(r.energy.as_dict().values()))
+
+    def test_modes_share_functional_results(self):
+        vals = {}
+        for mode in EngineMode:
+            r = run_workload("pathfinder", mode, scale=0.01, seed=9)
+            vals[mode] = np.asarray(r.value)
+        assert np.allclose(vals[EngineMode.IN_CORE],
+                           vals[EngineMode.AFF_ALLOC])
+        assert np.allclose(vals[EngineMode.NEAR_L3],
+                           vals[EngineMode.AFF_ALLOC])
+
+    def test_cycles_positive_and_finite_everywhere(self):
+        for name in ("vecadd", "hotspot", "pr_pull", "sssp", "hash_join"):
+            for mode in EngineMode:
+                r = run_workload(name, mode, scale=0.02)
+                assert np.isfinite(r.cycles) and r.cycles >= 1.0
+                assert np.isfinite(r.energy_pj) and r.energy_pj > 0
+
+
+class TestScalingKnob:
+    def test_scale_shrinks_work(self):
+        small = run_workload("vecadd", EngineMode.NEAR_L3, scale=0.01)
+        big = run_workload("vecadd", EngineMode.NEAR_L3, scale=0.1)
+        assert big.counters["l3_accesses"] > 5 * small.counters["l3_accesses"]
+
+    def test_param_override_beats_scale(self):
+        r = run_workload("vecadd", EngineMode.NEAR_L3, scale=0.01, n=4096)
+        assert r.counters["l3_accesses"] < 4096

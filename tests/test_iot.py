@@ -1,0 +1,101 @@
+"""Interleave Override Table (paper Table 1 / Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.iot import InterleaveOverrideTable, IotEntry
+
+
+class TestIotEntry:
+    def test_valid(self):
+        e = IotEntry(0x1000, 0x2000, 64)
+        assert e.covers(0x1000)
+        assert e.covers(0x1fff)
+        assert not e.covers(0x2000)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            IotEntry(0x2000, 0x1000, 64)
+
+    def test_rejects_48bit_overflow(self):
+        with pytest.raises(ValueError):
+            IotEntry(0, 1 << 49, 64)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            IotEntry(0, 0x1000, 96)
+
+    def test_rejects_oversized_interleave(self):
+        with pytest.raises(ValueError):
+            IotEntry(0, 0x100000, 1 << 17)
+
+
+class TestTable:
+    def test_eq1_mapping(self):
+        """bank(a) = floor((a - start) / intrlv) mod num_banks."""
+        iot = InterleaveOverrideTable(num_banks=64)
+        iot.install(IotEntry(0x10000, 0x110000, 128))
+        addrs = 0x10000 + np.arange(0, 0x100000, 128)
+        banks = iot.banks(addrs, default_shift=10)
+        expected = (np.arange(addrs.size)) % 64
+        assert (banks == expected).all()
+
+    def test_default_hash_outside_regions(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        addrs = np.arange(0, 64 * 1024, 1024)
+        banks = iot.banks(addrs, default_shift=10)
+        assert (banks == np.arange(64)).all()
+
+    def test_mixed_lookup(self):
+        iot = InterleaveOverrideTable(num_banks=4)
+        iot.install(IotEntry(0x1000, 0x2000, 64))
+        inside = iot.banks(np.array([0x1000 + 64]), default_shift=10)
+        outside = iot.banks(np.array([0x5000]), default_shift=10)
+        assert inside[0] == 1
+        assert outside[0] == (0x5000 >> 10) % 4
+
+    def test_overlap_rejected(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        iot.install(IotEntry(0x1000, 0x3000, 64))
+        with pytest.raises(ValueError):
+            iot.install(IotEntry(0x2000, 0x4000, 128))
+
+    def test_capacity_enforced(self):
+        iot = InterleaveOverrideTable(num_banks=64, capacity=2)
+        iot.install(IotEntry(0x1000, 0x2000, 64))
+        iot.install(IotEntry(0x3000, 0x4000, 64))
+        with pytest.raises(RuntimeError):
+            iot.install(IotEntry(0x5000, 0x6000, 64))
+
+    def test_update_end_grows(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        iot.install(IotEntry(0x1000, 0x2000, 64))
+        iot.update_end(0x1000, 0x8000)
+        assert iot.lookup(0x7fff) is not None
+
+    def test_update_end_cannot_shrink(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        iot.install(IotEntry(0x1000, 0x2000, 64))
+        with pytest.raises(ValueError):
+            iot.update_end(0x1000, 0x1800)
+
+    def test_update_end_unknown_start(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        with pytest.raises(KeyError):
+            iot.update_end(0x9000, 0xa000)
+
+    def test_lookup_miss(self):
+        iot = InterleaveOverrideTable(num_banks=64)
+        assert iot.lookup(0x1234) is None
+
+    @given(st.integers(0, 6), st.integers(0, 1 << 20))
+    def test_eq1_property(self, pool_idx, offset):
+        """Any in-region address maps per Eq. 1 for any pool interleave."""
+        intrlv = 64 << pool_idx
+        start = 1 << 30
+        iot = InterleaveOverrideTable(num_banks=64)
+        iot.install(IotEntry(start, start + (1 << 24), intrlv))
+        addr = start + (offset % (1 << 24))
+        bank = int(iot.banks(np.array([addr]), default_shift=10)[0])
+        assert bank == ((addr - start) // intrlv) % 64

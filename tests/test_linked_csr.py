@@ -1,0 +1,118 @@
+"""Linked CSR format (paper Fig 11 / §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.datastructs.linked_csr import LinkedCSR
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import kronecker
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def small_graph():
+    # the toy graph of paper Fig 11
+    src = [0, 0, 0, 1, 2, 2, 3, 3]
+    dst = [1, 2, 3, 0, 0, 3, 0, 2]
+    return CSRGraph.from_edge_list(4, src, dst)
+
+
+class TestStructure:
+    def test_node_capacity_default(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        # 64B node: 8B pointer + 14 x 4B edges (paper §5.3)
+        assert lcsr.edges_per_node == 14
+
+    def test_weighted_capacity(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph, edge_bytes=8)
+        assert lcsr.edges_per_node == 7
+
+    def test_node_counts(self, machine):
+        g = CSRGraph.from_edge_list(2, [0] * 30, list(range(30)) * 1
+                                    if False else [1] * 30,
+                                    remove_self_loops=False)
+        lcsr = LinkedCSR.build(machine, g)
+        # 30 edges at 14/node -> 3 nodes for vertex 0
+        assert lcsr.num_nodes == 3
+        assert lcsr.node_index[1] - lcsr.node_index[0] == 3
+
+    def test_every_edge_has_a_slot(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        assert lcsr.node_of_edge.size == small_graph.num_edges
+        assert (lcsr.edge_slot < lcsr.edges_per_node).all()
+
+    def test_edge_view_addresses_inside_nodes(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        view = lcsr.edge_view()
+        addrs = view.addr_of(np.arange(small_graph.num_edges))
+        offs = (addrs - lcsr.node_vaddrs[lcsr.node_of_edge])
+        assert (offs >= 8).all()          # past the next pointer
+        assert (offs < 64).all()
+
+    def test_mean_edges_per_node(self, machine):
+        g = kronecker(10, 16, seed=1)
+        lcsr = LinkedCSR.build(machine, g)
+        assert 1.0 < lcsr.mean_edges_per_node() <= 14.0
+
+
+class TestPlacement:
+    def test_affinity_build_colocates_with_targets(self):
+        machine = Machine()
+        alloc = AffinityAllocator(machine)
+        g = kronecker(13, 32, seed=2)
+        target = alloc.malloc_affine(AffineArray(8, g.num_vertices,
+                                                 partition=True))
+        lcsr = LinkedCSR.build(machine, g, allocator=alloc, target=target)
+        eb = lcsr.edge_view().all_banks()
+        tb = target.banks(g.edges.astype(np.int64))
+        aff_hops = machine.mesh.hops(eb, tb).mean()
+
+        m2 = Machine(heap_mode="random")
+        base = LinkedCSR.build(m2, g)
+        a2 = AffinityAllocator(m2)
+        t2 = a2.malloc_affine(AffineArray(8, g.num_vertices, partition=True))
+        base_hops = m2.mesh.hops(base.edge_view().all_banks(),
+                                 t2.banks(g.edges.astype(np.int64))).mean()
+        assert aff_hops < 0.5 * base_hops
+
+    def test_baseline_nodes_contiguous(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        assert (np.diff(lcsr.node_vaddrs) == 64).all()
+
+
+class TestChaseTrace:
+    def test_chains_follow_vertices(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        nodes, chains = lcsr.chase_trace(np.array([0, 2]))
+        # vertex 0 has 3 edges (1 node), vertex 2 has 2 edges (1 node)
+        assert nodes.size == 2
+        assert list(chains) == [0, 1]
+
+    def test_empty_vertices_skipped(self, machine):
+        g = CSRGraph.from_edge_list(4, [0], [1])
+        lcsr = LinkedCSR.build(machine, g)
+        nodes, chains = lcsr.chase_trace(np.array([2, 0, 3]))
+        assert nodes.size == 1
+        assert list(chains) == [0]
+
+    def test_multi_node_chain_in_order(self, machine):
+        g = CSRGraph.from_edge_list(2, [0] * 30, [1] * 30,
+                                    remove_self_loops=False)
+        lcsr = LinkedCSR.build(machine, g)
+        nodes, chains = lcsr.chase_trace(np.array([0]))
+        assert nodes.size == 3
+        assert (chains == 0).all()
+        assert (nodes == lcsr.node_vaddrs[:3]).all()
+
+    def test_chain_owner_cores(self, machine, small_graph):
+        lcsr = LinkedCSR.build(machine, small_graph)
+        cores = lcsr.chain_owner_cores(np.array([0, 1, 2, 3]), 64)
+        assert cores.size == 4
+        assert (cores < 64).all()

@@ -1,0 +1,119 @@
+"""Mesh topology and X-Y routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(8, 8)
+
+
+class TestCoords:
+    def test_row_major_numbering(self, mesh):
+        x, y = mesh.coords(np.array([0, 7, 8, 63]))
+        assert list(x) == [0, 7, 0, 7]
+        assert list(y) == [0, 0, 1, 7]
+
+    def test_tile_at_roundtrip(self, mesh):
+        for t in range(64):
+            x, y = mesh.coords(t)
+            assert mesh.tile_at(int(x), int(y)) == t
+
+    def test_tile_at_out_of_range(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.tile_at(8, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+
+class TestHops:
+    def test_self_distance_zero(self, mesh):
+        assert mesh.hops(5, 5) == 0
+
+    def test_adjacent(self, mesh):
+        assert mesh.hops(0, 1) == 1
+        assert mesh.hops(0, 8) == 1
+
+    def test_corner_to_corner(self, mesh):
+        assert mesh.hops(0, 63) == 14
+
+    def test_row_wrap_is_far(self, mesh):
+        # tile 7 (end of row 0) to tile 8 (start of row 1): not adjacent
+        assert mesh.hops(7, 8) == 8
+
+    def test_vectorized(self, mesh):
+        src = np.arange(64)
+        d = mesh.hops(src, (src + 8) % 64)
+        # moving 8 tiles forward is one row down except for the last row
+        assert (d[:56] == 1).all()
+        assert (d[56:] == 7).all()
+
+    def test_mean_hops_to(self, mesh):
+        assert mesh.mean_hops_to(0, [0]) == 0.0
+        assert mesh.mean_hops_to(0, [1, 8]) == 1.0
+
+    def test_hops_to_all_shape(self, mesh):
+        m = mesh.hops_to_all(np.array([0, 63]))
+        assert m.shape == (64, 2)
+        assert m[0, 0] == 0 and m[63, 1] == 0
+        assert m[63, 0] == 14
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63))
+    def test_triangle_inequality(self, a, b, c):
+        mesh = Mesh(8, 8)
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_symmetry(self, a, b):
+        mesh = Mesh(8, 8)
+        assert mesh.hops(a, b) == mesh.hops(b, a)
+
+
+class TestRouting:
+    def test_route_length_equals_manhattan(self, mesh):
+        for s in [0, 5, 27, 63]:
+            for d in [0, 9, 33, 56]:
+                assert len(mesh.route_links(s, d)) == mesh.hops(s, d)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_route_length_property(self, s, d):
+        mesh = Mesh(8, 8)
+        assert len(mesh.route_links(s, d)) == mesh.hops(s, d)
+
+    def test_route_links_distinct(self, mesh):
+        links = mesh.route_links(0, 63)
+        assert len(set(links)) == len(links)
+
+    def test_xy_order(self, mesh):
+        # from (0,0) to (2,1): two X links first, then one Y link
+        links = mesh.route_links(0, mesh.tile_at(2, 1))
+        assert len(links) == 3
+        # X-direction links come from tiles 0 and 1; Y from tile 2
+        assert links[0] // 4 == 0 and links[1] // 4 == 1 and links[2] // 4 == 2
+
+
+class TestLinkLoads:
+    def test_single_flow(self, mesh):
+        loads = mesh.link_loads(np.array([0]), np.array([3]), np.array([10.0]))
+        assert loads.sum() == 30.0  # 3 hops x weight 10
+        assert (loads > 0).sum() == 3
+
+    def test_self_traffic_ignored(self, mesh):
+        loads = mesh.link_loads(np.array([5]), np.array([5]), np.array([7.0]))
+        assert loads.sum() == 0.0
+
+    def test_bisection_links(self, mesh):
+        east, west = mesh.bisection_links()
+        assert len(east) == 8 and len(west) == 8
+        # all traffic from left half to right half crosses an east link
+        src = np.array([mesh.tile_at(0, y) for y in range(8)])
+        dst = np.array([mesh.tile_at(7, y) for y in range(8)])
+        loads = mesh.link_loads(src, dst, np.ones(8))
+        assert loads[east].sum() == 8.0
+        assert loads[west].sum() == 0.0

@@ -1,0 +1,108 @@
+"""NoC traffic accounting: flits, hops, channel loads."""
+
+import numpy as np
+import pytest
+
+from repro.arch.mesh import Mesh
+from repro.arch.noc import MessageClass, TrafficAccountant, pair_channel_loads
+from repro.config import NocConfig
+
+
+@pytest.fixture
+def acct():
+    return TrafficAccountant(Mesh(8, 8), NocConfig())
+
+
+class TestFlits:
+    def test_header_only_is_one_flit(self, acct):
+        acct.record(0, 1, 0, MessageClass.CONTROL)
+        assert acct.total_flits(MessageClass.CONTROL) == 1.0
+
+    def test_line_message_is_three_flits(self, acct):
+        # 64B payload + 8B header = 72B over 32B links -> 3 flits
+        acct.record(0, 1, 64, MessageClass.DATA)
+        assert acct.total_flits(MessageClass.DATA) == 3.0
+
+    def test_count_multiplies(self, acct):
+        acct.record(0, 1, 0, MessageClass.CONTROL, count=5)
+        assert acct.total_flits(MessageClass.CONTROL) == 5.0
+        assert acct.message_count(MessageClass.CONTROL) == 5.0
+
+    def test_vector_batch(self, acct):
+        src = np.array([0, 0, 1])
+        dst = np.array([1, 2, 3])
+        acct.record(src, dst, 0, MessageClass.OFFLOAD)
+        assert acct.message_count(MessageClass.OFFLOAD) == 3.0
+
+    def test_broadcast_scalar_dst(self, acct):
+        acct.record(np.array([0, 1, 2]), 5, 0, MessageClass.DATA)
+        assert acct.message_count(MessageClass.DATA) == 3.0
+
+    def test_invalid_tile_rejected(self, acct):
+        with pytest.raises(ValueError):
+            acct.record(0, 64, 0, MessageClass.DATA)
+
+
+class TestHops:
+    def test_flit_hops(self, acct):
+        acct.record(0, 3, 0, MessageClass.CONTROL)  # 3 hops x 1 flit
+        assert acct.flit_hops() == 3.0
+        assert acct.flit_hops(MessageClass.CONTROL) == 3.0
+        assert acct.flit_hops(MessageClass.DATA) == 0.0
+
+    def test_by_class(self, acct):
+        acct.record(0, 1, 0, MessageClass.CONTROL)
+        acct.record(0, 1, 64, MessageClass.DATA)
+        by = acct.flit_hops_by_class()
+        assert by[MessageClass.CONTROL] == 1.0
+        assert by[MessageClass.DATA] == 3.0
+
+    def test_local_messages_zero_hops(self, acct):
+        acct.record(4, 4, 64, MessageClass.DATA)
+        assert acct.flit_hops() == 0.0
+
+
+class TestChannelLoads:
+    def test_injection_ejection_counted(self, acct):
+        acct.record(0, 1, 0, MessageClass.CONTROL)
+        loads = acct.link_loads()
+        mesh = acct.mesh
+        assert loads[mesh.num_links + 0] == 1.0       # inject at 0
+        assert loads[mesh.num_links + 64 + 1] == 1.0  # eject at 1
+
+    def test_hot_destination_ejection(self, acct):
+        # 63 senders to one bank: its ejection channel carries it all
+        src = np.arange(1, 64)
+        acct.record(src, 0, 0, MessageClass.CONTROL)
+        loads = acct.link_loads()
+        assert loads[acct.mesh.num_links + 64 + 0] == 63.0
+
+    def test_max_link_load(self, acct):
+        acct.record(np.arange(1, 64), 0, 0, MessageClass.CONTROL)
+        assert acct.max_link_load() == 63.0
+
+    def test_pair_channel_loads_direct(self):
+        mesh = Mesh(4, 4)
+        pairs = np.zeros(16 * 16)
+        pairs[0 * 16 + 3] = 2.0  # 2 flits from 0 to 3
+        loads = pair_channel_loads(mesh, pairs)
+        assert loads[:mesh.num_links].sum() == 6.0  # 3 hops x 2 flits
+        assert loads[mesh.num_links + 0] == 2.0
+        assert loads[mesh.num_links + 16 + 3] == 2.0
+
+
+class TestUtilization:
+    def test_zero_cycles(self, acct):
+        assert acct.utilization(0) == 0.0
+
+    def test_bounded_by_one(self, acct):
+        acct.record(0, 63, 1 << 16, MessageClass.DATA)
+        assert 0.0 < acct.utilization(1) <= 1.0
+
+    def test_merged_with(self, acct):
+        other = TrafficAccountant(acct.mesh, acct.noc)
+        acct.record(0, 1, 0, MessageClass.CONTROL)
+        other.record(0, 1, 0, MessageClass.CONTROL)
+        merged = acct.merged_with(other)
+        assert merged.message_count() == 2.0
+        assert acct.message_count() == 1.0  # originals untouched

@@ -1,0 +1,77 @@
+"""Chunk remap (Fig 6 limit study) and ideal edge layout."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.partition import chunked_edge_layout, ideal_edge_layout
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+def random_dst_banks(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 64, n)
+
+
+def clustered_dst_banks(n, seed=0, run=32):
+    """Sorted-adjacency-like destinations: short runs of nearby banks
+    (what a real edge list sorted by neighbor id produces)."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 64, n // run + 1)
+    return np.repeat(base, run)[:n]
+
+
+class TestChunkRemap:
+    def test_smaller_chunks_fewer_hops(self, machine):
+        dst = clustered_dst_banks(1 << 15)
+        hops = {}
+        for cb in (4096, 256, 64):
+            _, info = chunked_edge_layout(machine, dst, cb)
+            hops[cb] = info.mean_indirect_hops
+        assert hops[64] < hops[256] < hops[4096]
+
+    def test_imbalance_bounded(self, machine):
+        dst = random_dst_banks(1 << 15)
+        _, info = chunked_edge_layout(machine, dst, 64, max_imbalance=0.02)
+        # bounded by the target plus one-chunk integer granularity
+        n_chunks = info.num_chunks
+        per_bank = np.bincount(info.assignment, minlength=64)
+        assert per_bank.max() <= np.ceil((n_chunks / 64) * 1.02) + 1
+
+    def test_skewed_destinations_rebalanced(self, machine):
+        # all edges point to bank 0: affinity alone would put every chunk
+        # there; the balance pass must spread them
+        dst = np.zeros(1 << 14, dtype=np.int64)
+        _, info = chunked_edge_layout(machine, dst, 64)
+        per_bank = np.bincount(info.assignment, minlength=64)
+        assert per_bank.max() < info.num_chunks
+        assert info.moved_for_balance > 0
+
+    def test_view_preserves_edge_order(self, machine):
+        dst = random_dst_banks(1000)
+        view, info = chunked_edge_layout(machine, dst, 256)
+        assert view.num_elem == 1000
+        # edges of the same chunk are contiguous in the view
+        a = view.addr_of(np.arange(63))
+        assert (np.diff(a) == 4).all()
+
+    def test_chunk_too_small_rejected(self, machine):
+        with pytest.raises(ValueError):
+            chunked_edge_layout(machine, random_dst_banks(100), 2)
+
+
+class TestIdealLayout:
+    def test_zero_indirect_hops(self, machine):
+        dst = random_dst_banks(1 << 14)
+        view = ideal_edge_layout(machine, dst)
+        banks = machine.banks_of(view.addr_of(np.arange(dst.size)))
+        assert (banks == dst).all()
+
+    def test_order_preserved(self, machine):
+        dst = random_dst_banks(512)
+        view = ideal_edge_layout(machine, dst)
+        addrs = view.addr_of(np.arange(512))
+        assert len(set(addrs.tolist())) == 512  # all distinct addresses

@@ -1,0 +1,191 @@
+"""Perf model: phase timing, bottlenecks, misses, comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.arch.noc import MessageClass
+from repro.machine import Machine
+from repro.perf.compare import (energy_efficiency, geomean, mean, speedup,
+                                traffic_ratio)
+from repro.perf.model import PerfModel
+from repro.perf.stats import RunRecorder
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+def fresh(machine):
+    return RunRecorder(machine), PerfModel(machine)
+
+
+class TestPhases:
+    def test_phase_deltas(self, machine):
+        rec, _ = fresh(machine)
+        rec.add_bank_accesses(np.array([0, 1]))
+        p1 = rec.end_phase("a")
+        rec.add_bank_accesses(np.array([2]))
+        p2 = rec.end_phase("b")
+        assert p1.bank_line_accesses.sum() == 2.0
+        assert p2.bank_line_accesses.sum() == 1.0
+        assert p2.bank_line_accesses[0] == 0.0
+
+    def test_close_wraps_tail(self, machine):
+        rec, _ = fresh(machine)
+        rec.add_core_ops(np.array([0]), 5.0)
+        rec.close()
+        assert len(rec.phases) == 1
+        assert rec.phases[0].label == "tail"
+
+    def test_close_idempotent(self, machine):
+        rec, _ = fresh(machine)
+        rec.add_core_ops(np.array([0]), 5.0)
+        rec.close()
+        rec.close()
+        assert len(rec.phases) == 1
+
+    def test_out_of_range_index(self, machine):
+        rec, _ = fresh(machine)
+        with pytest.raises(ValueError):
+            rec.add_bank_accesses(np.array([64]))
+
+
+class TestBottlenecks:
+    def test_core_bound(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_core_ops(np.array([0]), 8000.0)
+        r = pm.evaluate(rec)
+        assert r.cycles == pytest.approx(1000.0)  # 8000 ops / 8 per cycle
+
+    def test_bank_bound(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_bank_accesses(np.array([0]), 5000.0)
+        r = pm.evaluate(rec)
+        assert r.cycles == pytest.approx(5000.0)
+
+    def test_link_bound(self, machine):
+        rec, pm = fresh(machine)
+        # one huge message: payload flits cross every hop
+        rec.traffic.record(0, 63, 32 * 10000, MessageClass.DATA)
+        r = pm.evaluate(rec)
+        assert r.cycles >= 10000.0
+
+    def test_serial_bound(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_serial_cycles(np.array([7]), 1234.0)
+        r = pm.evaluate(rec)
+        assert r.cycles == pytest.approx(1234.0)
+
+    def test_max_across_resources(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_core_ops(np.array([0]), 80.0)       # 10 cycles
+        rec.add_bank_accesses(np.array([0]), 500.0)  # 500 cycles
+        r = pm.evaluate(rec)
+        assert r.cycles == pytest.approx(500.0)
+
+    def test_phases_sum(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_bank_accesses(np.array([0]), 100.0)
+        rec.end_phase("a")
+        rec.add_bank_accesses(np.array([0]), 200.0)
+        rec.end_phase("b")
+        r = pm.evaluate(rec)
+        assert r.cycles == pytest.approx(300.0)
+
+    def test_remote_reqs_add_occupancy(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_bank_atomics(np.array([0]), 1000.0)
+        base = pm.evaluate(rec).cycles
+        rec2, pm2 = fresh(Machine())
+        rec2.add_bank_atomics(np.array([0]), 1000.0)
+        rec2.add_remote_reqs(np.array([0]), 1000.0)
+        assert pm2.evaluate(rec2).cycles > base
+
+
+class TestMisses:
+    def test_overflowing_bank_misses_to_dram(self, machine):
+        rec, pm = fresh(machine)
+        machine.llc.register_by_banks(np.array([0]), float(4 << 20))  # 4x cap
+        rec.add_bank_accesses(np.array([0]), 1000.0)
+        r = pm.evaluate(rec)
+        assert r.l3_miss_pct == pytest.approx(75.0)
+        assert r.counters["dram_accesses"] == pytest.approx(750.0)
+
+    def test_miss_traffic_recorded(self, machine):
+        rec, pm = fresh(machine)
+        machine.llc.register_by_banks(np.array([9]), float(2 << 20))
+        rec.add_bank_accesses(np.array([9]), 100.0)
+        r = pm.evaluate(rec)
+        # 50 misses -> request + line response each
+        assert r.counters["messages"] >= 100
+
+    def test_no_misses_when_fitting(self, machine):
+        rec, pm = fresh(machine)
+        machine.llc.register_by_banks(np.array([0]), 1024.0)
+        rec.add_bank_accesses(np.array([0]), 100.0)
+        r = pm.evaluate(rec)
+        assert r.l3_miss_pct == 0.0
+        assert r.counters["dram_accesses"] == 0.0
+
+    def test_reuse_fraction_scales_misses(self, machine):
+        machine.llc.register_by_banks(np.array([0]), float(2 << 20))
+        rec, pm = fresh(machine)
+        rec.add_bank_accesses(np.array([0]), 100.0)
+        r = pm.evaluate(rec, reuse_fraction=0.5)
+        assert r.l3_miss_pct == pytest.approx(25.0)
+
+
+class TestResultFields:
+    def test_energy_and_counters(self, machine):
+        rec, pm = fresh(machine)
+        rec.add_core_ops(np.array([0]), 10.0)
+        rec.add_near_ops(np.array([0]), 5.0)
+        rec.traffic.record(0, 1, 0, MessageClass.CONTROL)
+        r = pm.evaluate(rec, label="x", value=42)
+        assert r.label == "x"
+        assert r.value == 42
+        assert r.energy_pj > 0
+        assert r.counters["core_ops"] == 10.0
+        assert r.counters["near_ops"] == 5.0
+
+    def test_minimum_one_cycle(self, machine):
+        rec, pm = fresh(machine)
+        assert pm.evaluate(rec).cycles == 1.0
+
+
+class TestCompare:
+    def _result(self, machine, cycles, energy_scale=1.0, hops=100.0):
+        rec, pm = fresh(machine)
+        rec.add_bank_accesses(np.array([0]), cycles)
+        rec.add_core_ops(np.array([0]), 100.0 * energy_scale)
+        rec.traffic.record(0, 1, 0, MessageClass.CONTROL, count=hops)
+        return pm.evaluate(rec)
+
+    def test_speedup_direction(self, machine):
+        slow = self._result(machine, 1000)
+        fast = self._result(Machine(), 500)
+        assert speedup(slow, fast) == pytest.approx(2.0)
+        assert speedup(fast, slow) == pytest.approx(0.5)
+
+    def test_traffic_ratio(self, machine):
+        a = self._result(machine, 100, hops=100)
+        b = self._result(Machine(), 100, hops=50)
+        assert traffic_ratio(a, b) == pytest.approx(0.5)
+
+    def test_energy_direction(self, machine):
+        cheap = self._result(machine, 100, energy_scale=1.0)
+        costly = self._result(Machine(), 100, energy_scale=10.0)
+        assert energy_efficiency(costly, cheap) > 1.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,146 @@
+"""Bank-select policies (Eq. 4) and batched selection."""
+
+import numpy as np
+import pytest
+
+from repro.arch.mesh import Mesh
+from repro.core.load import LoadTracker
+from repro.core.policy import (HybridPolicy, LinearPolicy, MinHopPolicy,
+                               RandomPolicy, policy_by_name)
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(8, 8)
+
+
+@pytest.fixture
+def load():
+    return LoadTracker(64)
+
+
+class TestLoadTracker:
+    def test_record_remove(self, load):
+        load.record(3)
+        load.record(3)
+        assert load.loads[3] == 2
+        load.remove(3)
+        assert load.loads[3] == 1
+
+    def test_negative_rejected(self, load):
+        with pytest.raises(ValueError):
+            load.remove(0)
+
+    def test_average_and_imbalance(self, load):
+        for b in range(64):
+            load.record(b)
+        assert load.average == 1.0
+        assert load.imbalance() == 0.0
+        load.record(0)
+        assert load.imbalance() > 0.0
+
+
+class TestMinHop:
+    def test_picks_affinity_bank(self, mesh, load):
+        pol = MinHopPolicy()
+        assert pol.select(np.array([37]), load, mesh) == 37
+
+    def test_centroid_of_two(self, mesh, load):
+        pol = MinHopPolicy()
+        # affinity to banks 0 and 2 (same row): any of 0,1,2 minimizes;
+        # ties break to lowest id
+        assert pol.select(np.array([0, 2]), load, mesh) == 0
+
+    def test_ignores_load(self, mesh, load):
+        pol = MinHopPolicy()
+        for _ in range(1000):
+            load.record(37)
+        assert pol.select(np.array([37]), load, mesh) == 37
+
+    def test_no_affinity_lowest_bank(self, mesh, load):
+        assert MinHopPolicy().select(np.empty(0, dtype=np.int64), load, mesh) == 0
+
+
+class TestHybrid:
+    def test_eq4_spills_overloaded_bank(self, mesh, load):
+        pol = HybridPolicy(5.0)
+        # make bank 37 heavily loaded relative to average
+        for _ in range(640):
+            load.record(37)
+        chosen = pol.select(np.array([37]), load, mesh)
+        assert chosen != 37
+        assert mesh.hops(37, chosen) <= 2  # spills to a close neighbor
+
+    def test_zero_h_is_min_hop(self, mesh, load):
+        pol = HybridPolicy(0.0)
+        for _ in range(1000):
+            load.record(37)
+        assert pol.select(np.array([37]), load, mesh) == 37
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            HybridPolicy(-1.0)
+
+    def test_higher_h_balances_more(self, mesh):
+        """Across a batch of same-affinity allocations, higher H spreads
+        the load over more banks."""
+        def spread(h):
+            load = LoadTracker(64)
+            pol = HybridPolicy(h)
+            hops = np.tile(mesh.hops_to_all(np.array([0])).T[0], (512, 1))
+            banks = pol.select_batch(hops.astype(float), load, mesh)
+            return len(set(banks.tolist()))
+        assert spread(7.0) >= spread(1.0)
+
+    def test_select_batch_updates_load(self, mesh, load):
+        pol = HybridPolicy(5.0)
+        pol.select_batch(np.zeros((10, 64)), load, mesh)
+        assert load.total == 10.0
+
+
+class TestObliviousPolicies:
+    def test_linear_round_robin(self, mesh, load):
+        pol = LinearPolicy()
+        picks = [pol.select(np.empty(0), load, mesh) for _ in range(130)]
+        assert picks[:5] == [0, 1, 2, 3, 4]
+        assert picks[64] == 0
+
+    def test_linear_batch_matches_sequential(self, mesh):
+        a, b = LinearPolicy(), LinearPolicy()
+        la, lb = LoadTracker(64), LoadTracker(64)
+        seq = [a.select(np.empty(0), la, mesh) for _ in range(100)]
+        batch = b.select_batch(np.zeros((100, 64)), lb, mesh)
+        assert seq == batch.tolist()
+
+    def test_random_reproducible(self, mesh, load):
+        a, b = RandomPolicy(seed=3), RandomPolicy(seed=3)
+        assert [a.select(np.empty(0), load, mesh) for _ in range(20)] == \
+               [b.select(np.empty(0), load, mesh) for _ in range(20)]
+
+    def test_random_reset(self, mesh, load):
+        pol = RandomPolicy(seed=3)
+        first = [pol.select(np.empty(0), load, mesh) for _ in range(10)]
+        pol.reset()
+        again = [pol.select(np.empty(0), load, mesh) for _ in range(10)]
+        assert first == again
+
+    def test_random_batch_updates_load(self, mesh, load):
+        RandomPolicy(seed=0).select_batch(np.zeros((50, 64)), load, mesh)
+        assert load.total == 50.0
+
+
+class TestByName:
+    @pytest.mark.parametrize("name,cls", [
+        ("Rnd", RandomPolicy), ("Lnr", LinearPolicy),
+        ("Min-Hop", MinHopPolicy), ("Min-Hops", MinHopPolicy),
+        ("Hybrid-5", HybridPolicy), ("Hybrid-3", HybridPolicy),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(policy_by_name(name), cls)
+
+    def test_hybrid_h_parsed(self):
+        assert policy_by_name("Hybrid-7").h == 7.0
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            policy_by_name("Magic")

@@ -1,0 +1,116 @@
+"""PoolSpace (contiguous-slot affine allocation) and SlotPool free lists."""
+
+import numpy as np
+import pytest
+
+from repro.core.affine import PoolSpace
+from repro.core.irregular import SlotPool
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+class TestPoolSpace:
+    def test_alloc_lands_on_requested_bank(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        for bank in (0, 5, 63):
+            slot = space.alloc(10, bank)
+            assert slot % 64 == bank
+
+    def test_alignment_pads_stay_reusable(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        space.alloc(4, 10)      # leaves slots 0..9 free as alignment pad
+        slot = space.alloc(4, 2)
+        assert slot == 2        # reused from the pad
+
+    def test_free_and_reuse(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        s1 = space.alloc(16, 0)
+        space.free(s1, 16)
+        s2 = space.alloc(16, 0)
+        assert s2 == s1
+
+    def test_free_coalesces(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        a = space.alloc(8, 0)
+        b = space.alloc(8, 0)
+        space.free(a, 8)
+        space.free(b, 8)
+        big = space.alloc(16, 0)
+        assert big == a  # merged back into one range
+
+    def test_double_free_detected(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        s = space.alloc(8, 0)
+        space.free(s, 8)
+        with pytest.raises(ValueError):
+            space.free(s + 2, 8)
+
+    def test_invalid_args(self, machine):
+        space = PoolSpace(machine.pools, 64)
+        with pytest.raises(ValueError):
+            space.alloc(0, 0)
+        with pytest.raises(ValueError):
+            space.alloc(4, 64)
+
+    def test_large_allocation_expands_pool(self, machine):
+        space = PoolSpace(machine.pools, 4096)
+        slot = space.alloc(1000, 7)
+        assert slot % 64 == 7
+        assert machine.pools.pool(4096).backed_bytes >= 1000 * 4096
+
+
+class TestSlotPool:
+    def test_slots_on_requested_bank(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        for bank in (0, 31, 63):
+            va = sp.alloc_on_bank(bank)
+            assert sp.bank_of(va) == bank
+
+    def test_free_and_reuse(self, machine):
+        sp = SlotPool(machine.pools, 128)
+        va = sp.alloc_on_bank(3)
+        sp.free_slot(va)
+        assert sp.alloc_on_bank(3) == va
+
+    def test_live_counter(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        a = sp.alloc_on_bank(0)
+        sp.alloc_on_bank(1)
+        assert sp.live == 2
+        sp.free_slot(a)
+        assert sp.live == 1
+
+    def test_free_foreign_address_rejected(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        with pytest.raises(ValueError):
+            sp.free_slot(0x1234)
+
+    def test_free_unaligned_rejected(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        va = sp.alloc_on_bank(0)
+        with pytest.raises(ValueError):
+            sp.free_slot(va + 8)
+
+    def test_batched_alloc_matches_banks(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        banks = np.array([3, 3, 60, 0, 3, 17] * 40)
+        vaddrs = sp.alloc_many_on_banks(banks)
+        assert (machine.pools.pool(64).bank_of(vaddrs) == banks).all()
+        assert len(set(vaddrs.tolist())) == banks.size  # all distinct
+
+    def test_batched_preserves_order(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        banks = np.array([5, 9, 5])
+        vaddrs = sp.alloc_many_on_banks(banks)
+        assert sp.bank_of(int(vaddrs[0])) == 5
+        assert sp.bank_of(int(vaddrs[1])) == 9
+        assert sp.bank_of(int(vaddrs[2])) == 5
+
+    def test_invalid_bank(self, machine):
+        sp = SlotPool(machine.pools, 64)
+        with pytest.raises(ValueError):
+            sp.alloc_on_bank(64)
