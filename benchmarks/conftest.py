@@ -6,6 +6,12 @@ scale; full-size runs are possible by exporting ``REPRO_BENCH_SCALE=1``).
 Each benchmark prints the reproduced rows so the output can be compared
 against the paper side by side, and records the wall-clock cost of the
 whole experiment via pytest-benchmark.
+
+All benchmark files share one content-addressed artifact cache
+(:mod:`repro.cache`): the Kronecker/power-law inputs are generated once
+and reloaded from ``.npz`` by every subsequent figure, whichever test
+file runs first.  ``REPRO_CACHE_DIR`` points the cache at a persistent
+location so repeated benchmark invocations skip generation entirely.
 """
 
 import os
@@ -13,6 +19,19 @@ import os
 import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_artifact_cache(tmp_path_factory):
+    """One graph/metrics cache for the whole benchmark session."""
+    from repro import cache
+
+    if os.environ.get("REPRO_CACHE_DIR"):
+        configured = cache.configure()  # honor the explicit, shared dir
+    else:
+        configured = cache.configure(
+            root=tmp_path_factory.mktemp("repro-artifacts"))
+    yield configured
 
 
 @pytest.fixture

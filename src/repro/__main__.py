@@ -5,7 +5,16 @@ Usage::
     python -m repro list                   # available experiments/workloads
     python -m repro fig4                   # run one figure, print its table
     python -m repro fig12 --scale 0.25
+    python -m repro all --jobs 8           # every figure/ablation/table,
+                                           # fanned across 8 processes
+    python -m repro fig4 --no-cache        # bypass the artifact cache
     python -m repro run pr_push --mode Aff-Alloc --scale 0.1
+
+Results of ``all`` (and any multi-experiment invocation) are also written
+as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
+the experiment configuration (ids/scale/seed/generator version), never
+the job count, so ``--jobs 8`` and ``--jobs 1`` produce byte-identical
+files.
 """
 
 from __future__ import annotations
@@ -14,48 +23,39 @@ import argparse
 import sys
 import time
 
-from repro.harness import experiments as exp
-from repro.harness import tables
-from repro.harness.report import render
+from repro.harness import runner
 from repro.nsc.engine import EngineMode
 from repro.workloads import WORKLOADS, run_workload
 
-EXPERIMENTS = {
-    "fig4": lambda scale: exp.fig4_vecadd_delta(n=max(int((1 << 20) * scale * 4), 1 << 16)),
-    "fig6": lambda scale: exp.fig6_chunk_remap(scale=scale),
-    "fig12": lambda scale: exp.fig12_overall(scale=scale),
-    "fig13": lambda scale: exp.fig13_policies(scale=scale),
-    "fig14": lambda scale: exp.fig14_atomic_timeline(scale=scale),
-    "fig15": lambda scale: exp.fig15_affine_scaling(scale=scale),
-    "fig16": lambda scale: exp.fig16_graph_scaling(
-        log_sizes=(12, 13, 14, 15)),
-    "fig17": lambda scale: exp.fig17_bfs_iterations(scale=scale),
-    "fig18": lambda scale: exp.fig18_push_pull_timeline(scale=scale),
-    "fig19": lambda scale: exp.fig19_degree_sweep(
-        total_edges=max(int((1 << 22) * scale), 1 << 16)),
-    "fig20": lambda scale: exp.fig20_real_world(scale=scale / 4),
-    "table1": lambda scale: tables.table1_iot_format(),
-    "table2": lambda scale: tables.table2_system_parameters(),
-    "table3": lambda scale: tables.table3_workloads(),
-    "table4": lambda scale: tables.table4_real_world_graphs(),
-}
+#: Backwards-compatible alias — the registry now lives in the runner.
+EXPERIMENTS = runner.EXPERIMENTS
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'Affinity Alloc' (MICRO 2023) experiments.")
-    parser.add_argument("target", help="'list', an experiment id (fig4..fig20, table1..table4), "
-                                       "or 'run' for a single workload")
+    parser.add_argument("target",
+                        help="'list', 'all', an experiment id (fig4..fig20, "
+                             "abl_*, table1..table4), a comma-separated list "
+                             "of ids, or 'run' for a single workload")
     parser.add_argument("workload", nargs="?", help="workload name for 'run'")
     parser.add_argument("--scale", type=float, default=0.12,
                         help="fraction of Table 3 input sizes (default 0.12)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed threaded through experiments")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for experiments (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed artifact cache")
+    parser.add_argument("--results-dir", default="results",
+                        help="where run-<hash>.json lands (default results/)")
     parser.add_argument("--mode", default="Aff-Alloc",
                         choices=[m.value for m in EngineMode])
     args = parser.parse_args(argv)
 
     if args.target == "list":
-        print("experiments:", " ".join(sorted(EXPERIMENTS)))
+        print("experiments:", " ".join(sorted(runner.EXPERIMENTS)))
         print("workloads  :", " ".join(sorted(WORKLOADS)))
         return 0
 
@@ -63,20 +63,38 @@ def main(argv=None) -> int:
         if not args.workload:
             parser.error("'run' needs a workload name")
         mode = next(m for m in EngineMode if m.value == args.mode)
-        t0 = time.time()
-        r = run_workload(args.workload, mode, scale=args.scale)
+        t0 = time.perf_counter()
+        r = run_workload(args.workload, mode, scale=args.scale,
+                         seed=args.seed)
         print(f"{r.label}: cycles={r.cycles:,.0f} "
               f"flit-hops={r.total_flit_hops:,.0f} "
               f"L3-miss={r.l3_miss_pct:.1f}% energy={r.energy_pj:,.0f} pJ "
-              f"({time.time() - t0:.1f}s wall)")
+              f"({time.perf_counter() - t0:.1f}s wall)")
         return 0
 
-    if args.target not in EXPERIMENTS:
-        parser.error(f"unknown target {args.target!r}; try 'list'")
-    t0 = time.time()
-    result = EXPERIMENTS[args.target](args.scale)
-    print(render(result))
-    print(f"\n[{args.target} completed in {time.time() - t0:.1f}s wall]")
+    if args.target == "all":
+        ids = runner.ALL_IDS
+    else:
+        ids = tuple(t for t in args.target.split(",") if t)
+        bad = [t for t in ids if t not in runner.EXPERIMENTS]
+        if bad or not ids:
+            parser.error(f"unknown target {args.target!r}; try 'list'")
+
+    report = runner.run_figures(
+        ids, jobs=args.jobs, scale=args.scale, seed=args.seed,
+        use_cache=not args.no_cache,
+        results_dir=args.results_dir if len(ids) > 1 else None,
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+
+    for fig in report.figures:
+        print(fig.render())
+        print()
+    if len(ids) > 1:
+        print(report.summary_table())
+        if report.path is not None:
+            print(f"\nmetrics JSON: {report.path}")
+    print(f"\n[{len(ids)} experiment(s) in {report.wall_s:.1f}s wall, "
+          f"jobs={report.jobs}]")
     return 0
 
 

@@ -1,0 +1,307 @@
+"""Content-addressed on-disk artifact cache.
+
+The harness regenerates the same Kronecker/power-law graphs and the same
+experiment metric tables over and over — across figures, across benchmark
+files, across CLI invocations.  This module trades a little disk for all
+of that recomputation, the same co-locate-vs-recompute tradeoff the
+source paper optimizes in hardware.
+
+Keys are SHA-256 digests of a canonical JSON encoding of
+``(kind, generator version, parameters)``; values are ``.npz`` blobs
+(graph arrays) or ``.json`` blobs (experiment metric summaries).  The
+cache is safe under concurrent writers: every write goes to a tempfile in
+the cache directory followed by an atomic :func:`os.replace`, so readers
+only ever see complete entries and the last concurrent writer of one key
+wins with an identical payload (keys are content-addressed — two writers
+of the same key are writing the same bytes).
+
+Knobs (all optional):
+
+* ``REPRO_CACHE_DIR``      — cache directory (default ``~/.cache/repro``).
+* ``REPRO_CACHE_MAX_BYTES``— LRU size cap (default 2 GiB).
+* ``REPRO_NO_CACHE=1``     — disable the cache process-wide.
+* :meth:`ArtifactCache.disabled` / ``configure(enabled=False)`` — the
+  programmatic / ``--no-cache`` escape hatch.
+
+Corrupted entries (truncated ``.npz`` after a crash, hand-edited JSON)
+are treated as misses: the entry is deleted and regenerated, never
+raised to the caller.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "ArtifactCache",
+    "get_cache",
+    "configure",
+    "cache_key",
+    "cached_graph",
+    "cached_json",
+]
+
+#: Bump whenever a generator/experiment changes its output for the same
+#: parameters — every old cache entry is invalidated at once.
+GENERATOR_VERSION = 1
+
+DEFAULT_MAX_BYTES = 2 << 30  # 2 GiB
+
+
+def _canonical(obj):
+    """Reduce parameters to a deterministic JSON-encodable form."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, float):
+        # repr round-trips exactly; 0.1 and 0.1000...01 stay distinct
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, os.PathLike):
+        return os.fspath(obj)
+    raise TypeError(f"unhashable cache parameter {obj!r} ({type(obj).__name__})")
+
+
+def cache_key(kind: str, **params) -> str:
+    """SHA-256 content address of ``(kind, GENERATOR_VERSION, params)``."""
+    payload = json.dumps(
+        {"kind": kind, "version": GENERATOR_VERSION,
+         "params": _canonical(params)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A directory of content-addressed ``.npz``/``.json`` artifacts."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 max_bytes: Optional[int] = None,
+                 enabled: Optional[bool] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro")
+        self.root = Path(root)
+        if max_bytes is None:
+            max_bytes = int(os.environ.get("REPRO_CACHE_MAX_BYTES",
+                                           DEFAULT_MAX_BYTES))
+        self.max_bytes = max_bytes
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true")
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str, suffix: str) -> Path:
+        return self.root / f"{key}{suffix}"
+
+    def _touch(self, path: Path) -> None:
+        """Refresh mtime so LRU eviction sees the entry as recently used."""
+        with contextlib.suppress(OSError):
+            os.utime(path, None)
+
+    def _atomic_write(self, path: Path, writer: Callable[[object], None],
+                      mode: str = "wb") -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, mode) as fh:
+                writer(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def _drop(self, path: Path) -> None:
+        with contextlib.suppress(OSError):
+            path.unlink()
+
+    # ----------------------------- npz --------------------------------
+    def get_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load an ``.npz`` entry; any read error is a miss (and deletes)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key, ".npz")
+        try:
+            with np.load(path, allow_pickle=False) as zf:
+                out = {name: zf[name] for name in zf.files}
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # truncated/corrupt — regenerate, don't crash
+            self._drop(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return out
+
+    def put_arrays(self, key: str, arrays: Dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(key, ".npz")
+        self._atomic_write(path, lambda fh: np.savez_compressed(fh, **arrays))
+        self.evict()
+
+    # ----------------------------- json -------------------------------
+    def get_json(self, key: str):
+        if not self.enabled:
+            return None
+        path = self.path_for(key, ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                out = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._drop(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return out
+
+    def put_json(self, key: str, obj) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(key, ".json")
+        data = json.dumps(obj, sort_keys=True, indent=1)
+        self._atomic_write(
+            path, lambda fh: fh.write(data), mode="w")
+        self.evict()
+
+    # --------------------------- eviction ------------------------------
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entries())
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return []
+        out = []
+        for p in self.root.iterdir():
+            if p.suffix in (".npz", ".json"):
+                with contextlib.suppress(OSError):
+                    p.stat()
+                    out.append(p)
+        return out
+
+    def evict(self, max_bytes: Optional[int] = None) -> int:
+        """Delete least-recently-used entries until under the size cap.
+
+        Returns the number of entries removed.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = []
+        for p in self._entries():
+            with contextlib.suppress(OSError):
+                st = p.stat()
+                entries.append((st.st_mtime, st.st_size, p))
+        total = sum(sz for _, sz, _ in entries)
+        removed = 0
+        entries.sort()  # oldest mtime first
+        for _, sz, p in entries:
+            if total <= cap:
+                break
+            self._drop(p)
+            total -= sz
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        for p in self._entries():
+            self._drop(p)
+
+    # --------------------------- control -------------------------------
+    @contextlib.contextmanager
+    def disabled(self):
+        """Temporarily bypass the cache (the ``--no-cache`` path)."""
+        prev, self.enabled = self.enabled, False
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"ArtifactCache({self.root}, {state}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+# ----------------------------------------------------------------------
+# Process-wide singleton
+# ----------------------------------------------------------------------
+_CACHE: Optional[ArtifactCache] = None
+
+
+def get_cache() -> ArtifactCache:
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = ArtifactCache()
+    return _CACHE
+
+
+def configure(root: Optional[os.PathLike] = None,
+              max_bytes: Optional[int] = None,
+              enabled: Optional[bool] = None) -> ArtifactCache:
+    """Replace the process-wide cache (tests, CLI ``--no-cache``, workers)."""
+    global _CACHE
+    _CACHE = ArtifactCache(root=root, max_bytes=max_bytes, enabled=enabled)
+    return _CACHE
+
+
+# ----------------------------------------------------------------------
+# High-level helpers
+# ----------------------------------------------------------------------
+def cached_graph(kind: str, builder: Callable[[], "object"], **params):
+    """Memoize a CSR graph build on disk, keyed by its parameters.
+
+    ``builder`` must be deterministic in ``params``; on a hit the graph is
+    reconstructed from the stored ``index``/``edges``(/``weights``)
+    arrays without re-running the generator.
+    """
+    from repro.graphs.csr import CSRGraph
+
+    cache = get_cache()
+    key = cache_key(kind, **params)
+    arrays = cache.get_arrays(key)
+    if arrays is not None and "index" in arrays and "edges" in arrays:
+        try:
+            return CSRGraph(arrays["index"], arrays["edges"],
+                            arrays.get("weights"))
+        except ValueError:  # stale/corrupt payload: fall through to rebuild
+            cache._drop(cache.path_for(key, ".npz"))
+    graph = builder()
+    payload = {"index": graph.index, "edges": graph.edges}
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    cache.put_arrays(key, payload)
+    return graph
+
+
+def cached_json(kind: str, builder: Callable[[], object], **params):
+    """Memoize a JSON-serializable computation (metric summaries)."""
+    cache = get_cache()
+    key = cache_key(kind, **params)
+    hit = cache.get_json(key)
+    if hit is not None:
+        return hit
+    obj = builder()
+    cache.put_json(key, obj)
+    return obj

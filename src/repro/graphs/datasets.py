@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.cache import cached_graph
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import powerlaw
 
@@ -49,7 +50,12 @@ REAL_WORLD_GRAPHS: Dict[str, GraphSpec] = {
 
 def load_real_world(name: str, scale: float = 1.0, seed: int = 7,
                     weights_range=None) -> CSRGraph:
-    """Synthesize the named Table 4 graph (optionally down-scaled)."""
+    """Synthesize the named Table 4 graph (optionally down-scaled).
+
+    Cached under the dataset name (via :mod:`repro.cache`) so every
+    figure/benchmark touching the same Table 4 stand-in shares one
+    generated artifact on disk.
+    """
     try:
         spec = REAL_WORLD_GRAPHS[name]
     except KeyError:
@@ -58,5 +64,9 @@ def load_real_world(name: str, scale: float = 1.0, seed: int = 7,
     if not (0 < scale <= 1.0):
         raise ValueError("scale must be in (0, 1]")
     nv = max(int(spec.num_vertices * scale), 1024)
-    return powerlaw(nv, spec.avg_degree, exponent=2.0, seed=seed,
-                    weights_range=weights_range)
+    return cached_graph(
+        "real_world",
+        lambda: powerlaw(nv, spec.avg_degree, exponent=2.0, seed=seed,
+                         weights_range=weights_range),
+        name=name, num_vertices=nv, avg_degree=spec.avg_degree, seed=seed,
+        weights_range=weights_range)

@@ -5,6 +5,12 @@
 * :func:`powerlaw` — configuration-model power-law graphs with a
   controllable *average degree* at fixed edge count (Fig 19's sweep).
 * :func:`uniform_random` — Erdős–Rényi-style uniform edges.
+
+All three generators are deterministic in their arguments (the ``seed``
+fixes the RNG) and memoized through :mod:`repro.cache`: the generated CSR
+arrays are stored as content-addressed ``.npz`` entries so that repeated
+builds — across figures, benchmark files, and worker processes — load in
+milliseconds instead of regenerating millions of edges.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.cache import cached_graph
 from repro.graphs.csr import CSRGraph
 
 __all__ = ["kronecker", "powerlaw", "uniform_random"]
@@ -34,6 +41,16 @@ def kronecker(scale: int, edge_factor: int = 16, a: float = 0.57,
     """
     if not (0 < a < 1 and 0 <= b < 1 and 0 <= c < 1 and a + b + c < 1):
         raise ValueError("invalid R-MAT probabilities")
+    return cached_graph(
+        "kronecker",
+        lambda: _kronecker_build(scale, edge_factor, a, b, c, seed,
+                                 weights_range),
+        scale=scale, edge_factor=edge_factor, a=a, b=b, c=c, seed=seed,
+        weights_range=weights_range)
+
+
+def _kronecker_build(scale, edge_factor, a, b, c, seed,
+                     weights_range) -> CSRGraph:
     rng = np.random.default_rng(seed)
     n = 1 << scale
     m = n * edge_factor
@@ -72,6 +89,16 @@ def powerlaw(num_vertices: int, avg_degree: float, exponent: float = 2.1,
     """
     if avg_degree <= 0:
         raise ValueError("avg_degree must be positive")
+    return cached_graph(
+        "powerlaw",
+        lambda: _powerlaw_build(num_vertices, avg_degree, exponent, seed,
+                                weights_range),
+        num_vertices=num_vertices, avg_degree=avg_degree, exponent=exponent,
+        seed=seed, weights_range=weights_range)
+
+
+def _powerlaw_build(num_vertices, avg_degree, exponent, seed,
+                    weights_range) -> CSRGraph:
     rng = np.random.default_rng(seed)
     m = int(num_vertices * avg_degree)
     # Pareto-distributed weights, truncated to avoid one vertex owning
@@ -91,6 +118,14 @@ def powerlaw(num_vertices: int, avg_degree: float, exponent: float = 2.1,
 def uniform_random(num_vertices: int, num_edges: int, seed: int = 0,
                    weights_range: Optional[tuple] = None) -> CSRGraph:
     """Uniform random multigraph."""
+    return cached_graph(
+        "uniform_random",
+        lambda: _uniform_build(num_vertices, num_edges, seed, weights_range),
+        num_vertices=num_vertices, num_edges=num_edges, seed=seed,
+        weights_range=weights_range)
+
+
+def _uniform_build(num_vertices, num_edges, seed, weights_range) -> CSRGraph:
     rng = np.random.default_rng(seed)
     src = rng.integers(0, num_vertices, size=num_edges)
     dst = rng.integers(0, num_vertices, size=num_edges)

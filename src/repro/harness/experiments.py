@@ -36,6 +36,9 @@ __all__ = [
     "fig18_push_pull_timeline",
     "fig19_degree_sweep",
     "fig20_real_world",
+    "ablation_node_size",
+    "ablation_pool_granularity",
+    "ablation_codesign",
 ]
 
 FIG12_WORKLOADS = ("pathfinder", "hotspot", "srad", "hotspot3D", "pr_push",
@@ -64,13 +67,14 @@ class SweepResult:
 # ----------------------------------------------------------------------
 def fig4_vecadd_delta(deltas: Sequence[int] = tuple(range(0, 68, 4)),
                       n: int = 1 << 20,
-                      config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                      config: SystemConfig = DEFAULT_CONFIG,
+                      seed: int = 0) -> SweepResult:
     """Speedup and NoC hops of vec-add vs forwarding distance (Fig 4).
 
     Rows: In-Core, Δ Bank 0..64, Random; speedup and hops normalized to
     In-Core, exactly as the figure.
     """
-    base = run_vecadd_delta(0, EngineMode.IN_CORE, config, n=n)
+    base = run_vecadd_delta(0, EngineMode.IN_CORE, config, n=n, seed=seed)
     res = SweepResult(
         "Fig 4: Impact of Affine Data Layout on Vec Add",
         ["layout", "speedup", "noc_hops_norm"],
@@ -78,10 +82,10 @@ def fig4_vecadd_delta(deltas: Sequence[int] = tuple(range(0, 68, 4)),
     )
     res.data.append(["In-Core", 1.0, 1.0])
     for d in deltas:
-        r = run_vecadd_delta(d, EngineMode.AFF_ALLOC, config, n=n)
+        r = run_vecadd_delta(d, EngineMode.AFF_ALLOC, config, n=n, seed=seed)
         res.raw["deltas"][d] = r
         res.data.append([f"Δ Bank {d}", speedup(base, r), traffic_ratio(base, r)])
-    rnd = run_vecadd_delta(None, EngineMode.NEAR_L3, config, n=n)
+    rnd = run_vecadd_delta(None, EngineMode.NEAR_L3, config, n=n, seed=seed)
     res.raw["random"] = rnd
     res.data.append(["Random", speedup(base, rnd), traffic_ratio(base, rnd)])
     return res
@@ -93,7 +97,8 @@ def fig4_vecadd_delta(deltas: Sequence[int] = tuple(range(0, 68, 4)),
 def fig6_chunk_remap(workloads: Sequence[str] = ("pr_push", "bfs_push", "sssp",
                                                  "pr_pull", "bfs_pull"),
                      scale: float = 0.25,
-                     config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                     config: SystemConfig = DEFAULT_CONFIG,
+                     seed: int = 0) -> SweepResult:
     """Speedup & traffic of chunk-remapped edge arrays (Fig 6).
 
     Configs: Base (CSR), Ind-4kB/1kB/256B/64B (remap with <=2% imbalance),
@@ -114,7 +119,7 @@ def fig6_chunk_remap(workloads: Sequence[str] = ("pr_push", "bfs_push", "sssp",
         runs = {}
         for name, lay in layouts:
             r = run_workload(wl, EngineMode.NEAR_L3, config, scale=scale,
-                             edge_layout=lay)
+                             seed=seed, edge_layout=lay)
             runs[name] = r
             if name == "Base":
                 base = r
@@ -135,7 +140,8 @@ def fig6_chunk_remap(workloads: Sequence[str] = ("pr_push", "bfs_push", "sssp",
 # ----------------------------------------------------------------------
 def fig12_overall(workloads: Sequence[str] = FIG12_WORKLOADS,
                   scale: float = 0.25,
-                  config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                  config: SystemConfig = DEFAULT_CONFIG,
+                  seed: int = 0) -> SweepResult:
     """The headline comparison: In-Core vs Near-L3 vs Aff-Alloc.
 
     Speedup and energy efficiency are normalized to Near-L3; NoC traffic
@@ -150,7 +156,8 @@ def fig12_overall(workloads: Sequence[str] = FIG12_WORKLOADS,
     )
     sp_ic, sp_af, ee_ic, ee_af, tr_nl, tr_af = [], [], [], [], [], []
     for wl in workloads:
-        runs = {m: run_workload(wl, m, config, scale=scale) for m in EngineMode}
+        runs = {m: run_workload(wl, m, config, scale=scale, seed=seed)
+                for m in EngineMode}
         res.raw[wl] = runs
         ic, nl, af = (runs[EngineMode.IN_CORE], runs[EngineMode.NEAR_L3],
                       runs[EngineMode.AFF_ALLOC])
@@ -174,7 +181,8 @@ def fig12_overall(workloads: Sequence[str] = FIG12_WORKLOADS,
 def fig13_policies(workloads: Sequence[str] = FIG13_WORKLOADS,
                    policies: Sequence[str] = FIG13_POLICIES,
                    scale: float = 0.25,
-                   config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                   config: SystemConfig = DEFAULT_CONFIG,
+                   seed: int = 0) -> SweepResult:
     """Irregular-layout policies under Aff-Alloc, normalized to Rnd."""
     res = SweepResult(
         "Fig 13: Sensitivity on Irregular Layout Policies",
@@ -184,7 +192,8 @@ def fig13_policies(workloads: Sequence[str] = FIG13_WORKLOADS,
     per_policy: Dict[str, List[float]] = {p: [] for p in policies}
     for wl in workloads:
         runs = {p: run_workload(wl, EngineMode.AFF_ALLOC, config, scale=scale,
-                                policy=policy_by_name(p)) for p in policies}
+                                seed=seed, policy=policy_by_name(p))
+                for p in policies}
         res.raw[wl] = runs
         base = runs["Rnd"]
         sp = [speedup(base, runs[p]) for p in policies]
@@ -201,7 +210,8 @@ def fig13_policies(workloads: Sequence[str] = FIG13_WORKLOADS,
 def fig14_atomic_timeline(policies: Sequence[str] = ("Rnd", "Min-Hop",
                                                      "Hybrid-5"),
                           scale: float = 0.25,
-                          config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                          config: SystemConfig = DEFAULT_CONFIG,
+                          seed: int = 0) -> SweepResult:
     """Distribution of concurrent atomic streams per bank over the run.
 
     For each BFS iteration (a recorded phase) the mean number of in-flight
@@ -222,7 +232,7 @@ def fig14_atomic_timeline(policies: Sequence[str] = ("Rnd", "Min-Hop",
     hop_lat = float(config.noc.hop_latency)
     for pol in policies:
         r = run_workload("bfs_push", EngineMode.AFF_ALLOC, config, scale=scale,
-                         policy=policy_by_name(pol))
+                         seed=seed, policy=policy_by_name(pol))
         res.raw[pol] = r
         total = sum(c for _, c in r.phase_cycles) or 1.0
         t = 0.0
@@ -254,7 +264,8 @@ def fig15_affine_scaling(workloads: Sequence[str] = ("pathfinder", "hotspot",
                                                      "srad", "hotspot3D"),
                          multipliers: Sequence[int] = (1, 2, 4, 8),
                          scale: float = 0.5,
-                         config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                         config: SystemConfig = DEFAULT_CONFIG,
+                         seed: int = 0) -> SweepResult:
     """Affine workloads at growing input sizes: speedup + L3 miss %."""
     res = SweepResult(
         "Fig 15: Speedup of Affine Layout on Large Inputs",
@@ -265,8 +276,10 @@ def fig15_affine_scaling(workloads: Sequence[str] = ("pathfinder", "hotspot",
     gm: Dict[int, List[float]] = {m: [] for m in multipliers}
     for wl in workloads:
         for m in multipliers:
-            nl = run_workload(wl, EngineMode.NEAR_L3, config, scale=scale * m)
-            af = run_workload(wl, EngineMode.AFF_ALLOC, config, scale=scale * m)
+            nl = run_workload(wl, EngineMode.NEAR_L3, config, scale=scale * m,
+                              seed=seed)
+            af = run_workload(wl, EngineMode.AFF_ALLOC, config,
+                              scale=scale * m, seed=seed)
             res.raw[(wl, m)] = (nl, af)
             s = speedup(nl, af)
             gm[m].append(s)
@@ -278,7 +291,8 @@ def fig15_affine_scaling(workloads: Sequence[str] = ("pathfinder", "hotspot",
 
 def fig16_graph_scaling(workloads: Sequence[str] = ("pr_push", "bfs", "sssp"),
                         log_sizes: Sequence[int] = (14, 15, 16, 17),
-                        config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                        config: SystemConfig = DEFAULT_CONFIG,
+                        seed: int = 0) -> SweepResult:
     """Graph workloads at growing |V| (paper: 2^17..2^20): speedup of
     Hybrid-5 and Min-Hops over Near-L3 plus L3 miss %."""
     res = SweepResult(
@@ -290,11 +304,12 @@ def fig16_graph_scaling(workloads: Sequence[str] = ("pr_push", "bfs", "sssp"),
     for wl in workloads:
         for ls in log_sizes:
             sc = 2.0 ** (ls - base_scale)
-            nl = run_workload(wl, EngineMode.NEAR_L3, config, scale=sc)
+            nl = run_workload(wl, EngineMode.NEAR_L3, config, scale=sc,
+                              seed=seed)
             h5 = run_workload(wl, EngineMode.AFF_ALLOC, config, scale=sc,
-                              policy=policy_by_name("Hybrid-5"))
+                              seed=seed, policy=policy_by_name("Hybrid-5"))
             mh = run_workload(wl, EngineMode.AFF_ALLOC, config, scale=sc,
-                              policy=policy_by_name("Min-Hop"))
+                              seed=seed, policy=policy_by_name("Min-Hop"))
             res.raw[(wl, ls)] = (nl, h5, mh)
             res.data.append([wl, ls, speedup(nl, h5), speedup(nl, mh),
                              h5.l3_miss_pct])
@@ -319,7 +334,8 @@ def fig17_bfs_iterations(scale: float = 0.25, seed: int = 0) -> SweepResult:
 
 
 def fig18_push_pull_timeline(scale: float = 0.25,
-                             config: SystemConfig = DEFAULT_CONFIG) -> SweepResult:
+                             config: SystemConfig = DEFAULT_CONFIG,
+                             seed: int = 0) -> SweepResult:
     """Per-iteration runtime share of push/pull/switch BFS per engine."""
     res = SweepResult(
         "Fig 18: BFS Push vs Pull Timeline",
@@ -328,7 +344,7 @@ def fig18_push_pull_timeline(scale: float = 0.25,
     )
     for mode in EngineMode:
         for variant in ("bfs_pull", "bfs_push", "bfs"):
-            r = run_workload(variant, mode, config, scale=scale)
+            r = run_workload(variant, mode, config, scale=scale, seed=seed)
             res.raw[(mode.value, variant)] = r
             total = sum(c for _, c in r.phase_cycles) or 1.0
             timeline = " ".join(
@@ -365,12 +381,13 @@ def fig19_degree_sweep(workloads: Sequence[str] = ("pr_push", "bfs", "sssp"),
                                             g.edges, g.weights,
                                             symmetrize=True)
             rnd = run_workload(wl, EngineMode.AFF_ALLOC, config, graph=g,
-                               policy=policy_by_name("Rnd"))
+                               seed=seed, policy=policy_by_name("Rnd"))
             h5 = run_workload(wl, EngineMode.AFF_ALLOC, config, graph=g,
-                              policy=policy_by_name("Hybrid-5"))
+                              seed=seed, policy=policy_by_name("Hybrid-5"))
             mh = run_workload(wl, EngineMode.AFF_ALLOC, config, graph=g,
-                              policy=policy_by_name("Min-Hop"))
-            nl = run_workload(wl, EngineMode.NEAR_L3, config, graph=g)
+                              seed=seed, policy=policy_by_name("Min-Hop"))
+            nl = run_workload(wl, EngineMode.NEAR_L3, config, graph=g,
+                              seed=seed)
             res.raw[(wl, d)] = (rnd, h5, mh, nl)
             s5 = speedup(rnd, h5)
             gm[d].append(s5)
@@ -401,15 +418,82 @@ def fig20_real_world(workloads: Sequence[str] = ("pr_push", "bfs", "sssp"),
                 g = CSRGraph.from_edge_list(g.num_vertices, g.sources(),
                                             g.edges, g.weights,
                                             symmetrize=True)
-            nl = run_workload(wl, EngineMode.NEAR_L3, config, graph=g)
+            nl = run_workload(wl, EngineMode.NEAR_L3, config, graph=g,
+                              seed=seed)
             mh = run_workload(wl, EngineMode.AFF_ALLOC, config, graph=g,
-                              policy=policy_by_name("Min-Hop"))
+                              seed=seed, policy=policy_by_name("Min-Hop"))
             h5 = run_workload(wl, EngineMode.AFF_ALLOC, config, graph=g,
-                              policy=policy_by_name("Hybrid-5"))
+                              seed=seed, policy=policy_by_name("Hybrid-5"))
             res.raw[(gname, wl)] = (nl, mh, h5)
             s5 = speedup(nl, h5)
             gm.append(s5)
             res.data.append([gname, wl, speedup(nl, mh), s5,
                              traffic_ratio(nl, h5)])
     res.data.append(["geomean", "", "", geomean(gm), ""])
+    return res
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md's design-choice studies, runnable as experiments)
+# ----------------------------------------------------------------------
+def ablation_node_size(node_sizes: Sequence[int] = (64, 128, 256),
+                       scale: float = 0.12,
+                       config: SystemConfig = DEFAULT_CONFIG,
+                       seed: int = 0) -> SweepResult:
+    """Linked CSR node size: placement granularity vs pointer chasing."""
+    res = SweepResult(
+        "Ablation: Linked CSR Node Size (pr_push, Aff-Alloc)",
+        ["node_bytes", "cycles", "flit_hops"],
+        raw={},
+    )
+    for nb in node_sizes:
+        r = run_workload("pr_push", EngineMode.AFF_ALLOC, config, scale=scale,
+                         seed=seed, node_bytes=nb)
+        res.raw[nb] = r
+        res.data.append([nb, r.cycles, r.total_flit_hops])
+    return res
+
+
+def ablation_pool_granularity(scale: float = 0.12,
+                              config: SystemConfig = DEFAULT_CONFIG,
+                              seed: int = 0) -> SweepResult:
+    """Page-only pools (4 KiB D-NUCA placement) vs the full pool set."""
+    fine = run_workload("pr_push", EngineMode.AFF_ALLOC, config, scale=scale,
+                        seed=seed)
+    coarse_cfg = config.scaled(pool_interleaves=(4096,))
+    coarse = run_workload("pr_push", EngineMode.AFF_ALLOC, coarse_cfg,
+                          scale=scale, seed=seed)
+    near = run_workload("pr_push", EngineMode.NEAR_L3, config, scale=scale,
+                        seed=seed)
+    res = SweepResult(
+        "Ablation: Interleave Pool Granularity (pr_push)",
+        ["config", "speedup_vs_nearL3", "flit_hops"],
+        raw={"fine": fine, "coarse": coarse, "near": near},
+    )
+    res.data.append(["pools 64B..4KiB", speedup(near, fine),
+                     fine.total_flit_hops])
+    res.data.append(["pools 4KiB only", speedup(near, coarse),
+                     coarse.total_flit_hops])
+    return res
+
+
+def ablation_codesign(scale: float = 0.12,
+                      config: SystemConfig = DEFAULT_CONFIG,
+                      seed: int = 0) -> SweepResult:
+    """Affinity alloc without the co-designed structures (paper: "it is
+    critical to codesign the data structure")."""
+    res = SweepResult(
+        "Ablation: Data Structure Co-Design",
+        ["variant", "cycles", "flit_hops"],
+        raw={},
+    )
+    for label, wl, overrides in (
+            ("pr_push + Linked CSR", "pr_push", {}),
+            ("pr_push, plain CSR", "pr_push", {"use_linked": False}),
+            ("bfs_push + spatial queue", "bfs_push", {}),
+            ("bfs_push, global queue", "bfs_push", {"spatial_queue": False})):
+        r = run_workload(wl, EngineMode.AFF_ALLOC, config, scale=scale,
+                         seed=seed, **overrides)
+        res.raw[label] = r
+        res.data.append([label, r.cycles, r.total_flit_hops])
     return res

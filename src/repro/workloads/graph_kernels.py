@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache import cached_graph
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.api import AddressView, ArrayHandle
 from repro.datastructs.dist_queue import GlobalQueue, SpatialQueue
@@ -37,14 +38,25 @@ __all__ = ["GraphSetup", "PageRankPush", "PageRankPull", "BfsPush", "BfsPull",
 
 def default_graph(scale: float = 1.0, seed: int = 0, weighted: bool = False,
                   symmetrize: bool = False) -> CSRGraph:
-    """Table 3 input: Kronecker, 128k vertices, 4M edges."""
+    """Table 3 input: Kronecker, 128k vertices, 4M edges.
+
+    The symmetrized variant is cached as its own artifact — the
+    edge-list re-sort costs as much as generation at large scales.
+    """
     kscale = max(10, 17 + int(round(math.log2(scale))) if scale != 1.0 else 17)
-    g = kronecker(kscale, 32, seed=seed,
-                  weights_range=(1, 255) if weighted else None)
-    if symmetrize:
-        g = CSRGraph.from_edge_list(g.num_vertices, g.sources(), g.edges,
-                                    g.weights, symmetrize=True)
-    return g
+
+    def build() -> CSRGraph:
+        g = kronecker(kscale, 32, seed=seed,
+                      weights_range=(1, 255) if weighted else None)
+        if symmetrize:
+            g = CSRGraph.from_edge_list(g.num_vertices, g.sources(), g.edges,
+                                        g.weights, symmetrize=True)
+        return g
+
+    if not symmetrize:
+        return build()  # kronecker() itself is cached
+    return cached_graph("default_graph_sym", build,
+                        kscale=kscale, seed=seed, weighted=weighted)
 
 
 class GraphSetup:

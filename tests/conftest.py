@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+Every test session gets one fresh artifact-cache directory: generators
+stay memoized *within* the session (test files reuse each other's
+graphs), while sessions stay hermetic — no state leaks in from previous
+runs or from a user-level ``~/.cache/repro``.  Export ``REPRO_CACHE_DIR``
+to share a cache across sessions instead.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_artifact_cache(tmp_path_factory):
+    from repro import cache
+
+    if os.environ.get("REPRO_CACHE_DIR"):
+        configured = cache.configure()  # honor the explicit, shared dir
+    else:
+        configured = cache.configure(
+            root=tmp_path_factory.mktemp("repro-artifacts"))
+    yield configured

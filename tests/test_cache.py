@@ -1,0 +1,201 @@
+"""The content-addressed artifact cache: hits, misses, eviction,
+corruption recovery, concurrent writers, and the bypass escape hatch."""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import cache as cache_mod
+from repro.cache import ArtifactCache, cache_key, cached_graph
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import kronecker, powerlaw
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "cache", enabled=True)
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        k1 = cache_key("kronecker", scale=12, seed=0)
+        k2 = cache_key("kronecker", seed=0, scale=12)
+        assert k1 == k2 and len(k1) == 64
+
+    def test_key_separates_params(self):
+        assert cache_key("kronecker", scale=12, seed=0) != \
+            cache_key("kronecker", scale=12, seed=1)
+        assert cache_key("kronecker", scale=12) != \
+            cache_key("powerlaw", scale=12)
+
+    def test_numpy_and_tuple_params_canonicalize(self):
+        assert cache_key("g", n=np.int64(4), w=(1, 255)) == \
+            cache_key("g", n=4, w=[1, 255])
+
+    def test_unhashable_param_raises(self):
+        with pytest.raises(TypeError):
+            cache_key("g", fn=lambda: None)
+
+
+class TestHitMiss:
+    def test_npz_roundtrip(self, cache):
+        key = cache_key("t", x=1)
+        assert cache.get_arrays(key) is None
+        assert cache.misses == 1
+        arrays = {"index": np.array([0, 2, 3], dtype=np.int64),
+                  "edges": np.array([1, 2, 0], dtype=np.int32)}
+        cache.put_arrays(key, arrays)
+        out = cache.get_arrays(key)
+        assert cache.hits == 1
+        assert (out["index"] == arrays["index"]).all()
+        assert (out["edges"] == arrays["edges"]).all()
+
+    def test_json_roundtrip(self, cache):
+        key = cache_key("m", fig="fig12")
+        assert cache.get_json(key) is None
+        cache.put_json(key, {"rows": [[1, 2.5, "x"]]})
+        assert cache.get_json(key) == {"rows": [[1, 2.5, "x"]]}
+
+    def test_loaded_arrays_are_fresh_copies(self, cache):
+        key = cache_key("t", x=2)
+        cache.put_arrays(key, {"a": np.arange(5)})
+        first = cache.get_arrays(key)["a"]
+        first[:] = -1  # mutating a hit must not poison later hits
+        assert (cache.get_arrays(key)["a"] == np.arange(5)).all()
+
+
+class TestEviction:
+    def _fill(self, cache, n, size=1000):
+        for i in range(n):
+            cache.put_json(cache_key("e", i=i), {"pad": "x" * size})
+
+    def test_evicts_down_to_cap(self, cache):
+        self._fill(cache, 10)
+        total = cache.size_bytes()
+        cache.evict(max_bytes=total // 2)
+        assert cache.size_bytes() <= total // 2
+        assert len(cache._entries()) < 10
+
+    def test_lru_order(self, cache, tmp_path):
+        keys = [cache_key("e", i=i) for i in range(3)]
+        for i, k in enumerate(keys):
+            cache.put_json(k, {"i": i})
+            # force distinct, increasing mtimes
+            os.utime(cache.path_for(k, ".json"), (i, i))
+        os.utime(cache.path_for(keys[0], ".json"), None)  # refresh oldest
+        cache.evict(max_bytes=cache.size_bytes() - 1)
+        assert cache.get_json(keys[0]) is not None   # recently used survives
+        assert cache.get_json(keys[1]) is None       # stalest went first
+
+    def test_put_triggers_eviction(self, tmp_path):
+        small = ArtifactCache(root=tmp_path, max_bytes=4096, enabled=True)
+        self._fill(small, 20)
+        assert small.size_bytes() <= 4096
+
+
+class TestCorruptionRecovery:
+    def test_truncated_npz_regenerates(self, cache):
+        key = cache_key("t", x=3)
+        cache.put_arrays(key, {"index": np.array([0, 1]),
+                               "edges": np.array([0])})
+        path = cache.path_for(key, ".npz")
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-header
+        assert cache.get_arrays(key) is None      # miss, not a crash
+        assert not path.exists()                  # bad entry dropped
+
+    def test_garbage_json_regenerates(self, cache):
+        key = cache_key("m", x=4)
+        cache.put_json(key, {"ok": True})
+        cache.path_for(key, ".json").write_text("{not json", encoding="utf-8")
+        assert cache.get_json(key) is None
+        assert not cache.path_for(key, ".json").exists()
+
+    def test_cached_graph_survives_stale_payload(self, cache, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_CACHE", cache)
+        key = cache_key("g", n=5)
+        # a structurally invalid CSR payload under the right key
+        cache.put_arrays(key, {"index": np.array([3, 1]),
+                               "edges": np.array([0])})
+        g = cached_graph("g", lambda: CSRGraph(np.array([0, 1]),
+                                               np.array([0])), n=5)
+        assert g.num_vertices == 1  # rebuilt from the builder
+
+
+class TestConcurrentWriters:
+    def test_atomic_rename_last_writer_wins(self, cache):
+        key = cache_key("c", x=1)
+        procs = [multiprocessing.Process(
+            target=_writer_proc, args=(str(cache.root), key, i))
+            for i in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        out = cache.get_arrays(key)
+        # every writer wrote the same content-addressed payload; whoever
+        # won the final rename, the entry is complete and loadable
+        assert out is not None and (out["a"] == np.arange(1 << 12)).all()
+
+    def test_reader_never_sees_partial_write(self, cache):
+        # the tempfile lives beside the target; until the rename there is
+        # no entry at the final path at all
+        key = cache_key("c", x=2)
+        assert cache.get_arrays(key) is None
+        tmp_files = list(cache.root.glob("*.tmp"))
+        assert tmp_files == []
+
+
+class TestBypass:
+    def test_disabled_cache_never_stores(self, cache):
+        with cache.disabled():
+            cache.put_json(cache_key("b", x=1), {"v": 1})
+            assert cache.get_json(cache_key("b", x=1)) is None
+        assert cache.enabled  # restored on exit
+
+    def test_no_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        c = ArtifactCache(root=tmp_path)
+        assert not c.enabled
+
+    def test_generator_bypass_recomputes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_CACHE",
+                            ArtifactCache(root=tmp_path, enabled=True))
+        g1 = kronecker(10, 4, seed=3)
+        c = cache_mod.get_cache()
+        hits_before = c.hits
+        g2 = kronecker(10, 4, seed=3)          # served from cache
+        assert c.hits == hits_before + 1
+        with c.disabled():
+            g3 = kronecker(10, 4, seed=3)      # recomputed, not served
+        assert c.hits == hits_before + 1
+        for g in (g2, g3):
+            assert (g.index == g1.index).all()
+            assert (g.edges == g1.edges).all()
+
+
+class TestGeneratorIntegration:
+    def test_cached_graph_identical_to_generated(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_CACHE",
+                            ArtifactCache(root=tmp_path, enabled=True))
+        g_cold = powerlaw(2048, 8, seed=11, weights_range=(1, 255))
+        g_warm = powerlaw(2048, 8, seed=11, weights_range=(1, 255))
+        assert (g_cold.index == g_warm.index).all()
+        assert (g_cold.edges == g_warm.edges).all()
+        assert (g_cold.weights == g_warm.weights).all()
+
+    def test_different_seeds_do_not_collide(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_CACHE",
+                            ArtifactCache(root=tmp_path, enabled=True))
+        a = powerlaw(1024, 4, seed=1)
+        b = powerlaw(1024, 4, seed=2)
+        assert not np.array_equal(a.edges, b.edges)
+
+
+def _writer_proc(root: str, key: str, worker: int) -> None:
+    c = ArtifactCache(root=root, enabled=True)
+    for _ in range(5):
+        c.put_arrays(key, {"a": np.arange(1 << 12)})
