@@ -1,0 +1,22 @@
+"""RACE001: remote atomics mixed with plain stores to the same array.
+
+The init store and the atomic histogram update touch ``data`` with no
+dependence path between them — the executor may interleave them freely.
+"""
+
+from repro.core.api import AffineArray
+from repro.nsc.compiler import KernelBuilder
+
+
+def build(session):
+    n = 1 << 12
+    idx = session.allocator.malloc_affine(AffineArray(4, n), name="idx")
+    data = session.allocator.malloc_affine(AffineArray(4, n), name="data")
+
+    k = KernelBuilder("histogram_init_race", n)
+    s_idx = k.load("s_idx", idx)
+    k.atomic("s_upd", data, address_from=s_idx,
+             target_indices=lambda t: t % n)
+    k.store("s_init", data)  # unordered vs the atomic stream
+    session.add_kernel(k)
+    session.expect_clean_exit = False

@@ -1,0 +1,10 @@
+"""LIF001 + LIF004: freeing twice, and freeing a bogus address."""
+
+from repro.core.api import AffineArray
+
+
+def build(session):
+    a = session.allocator.malloc_affine(AffineArray(4, 1024), name="A")
+    session.allocator.free_aff(a)
+    session.allocator.free_aff(a.vaddr)   # LIF001: already freed
+    session.allocator.free_aff(0x1234)    # LIF004: never allocated

@@ -1,0 +1,8 @@
+"""LIF002: allocations still live when the session ends."""
+
+from repro.core.api import AffineArray
+
+
+def build(session):
+    session.allocator.malloc_affine(AffineArray(4, 1024), name="leaked_a")
+    session.allocator.malloc_irregular(64)

@@ -1,0 +1,26 @@
+"""COV001: a layout whose forwards are mostly remote.
+
+A, B and C are all pool-interleaved, but B and C start one and two slots
+away from A — so the loads of A and B land on different banks than the
+store to C, and only the store itself is bank-local (1/3 < 50%).
+"""
+
+from repro.core.api import AffineArray
+from repro.nsc.compiler import KernelBuilder
+
+
+def build(session):
+    n = 1 << 14
+    alloc = session.allocator
+    a = alloc.malloc_affine(AffineArray(4, n), name="A")
+    b = alloc.malloc_affine(AffineArray(4, n, align_to=a, align_x=32),
+                            name="B")
+    c = alloc.malloc_affine(AffineArray(4, n, align_to=a, align_x=16),
+                            name="C")
+
+    k = KernelBuilder("shifted_add", n)
+    s_a = k.load("s_a", a)
+    s_b = k.load("s_b", b)
+    k.store("s_c", c, inputs=[s_a, s_b])
+    session.add_kernel(k)
+    session.expect_clean_exit = False

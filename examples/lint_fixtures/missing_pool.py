@@ -1,0 +1,17 @@
+"""AFF004: required interleavings with no backing pool.
+
+A 12-byte element aligned 1:1 with a 4-byte array needs a 192 B
+interleave (Eq. 3) — not a pool granularity and not page-aligned.  The
+irregular demand asks for 8 KiB objects, beyond the largest (4 KiB)
+interleave pool.
+"""
+
+
+def build(session):
+    from repro.analysis.plan import LayoutPlan
+
+    plan = LayoutPlan("missing_pool")
+    plan.array("A", 4, 4096)
+    plan.array("wide", 12, 4096, align_to="A")
+    plan.demand(8192, 64, label="jumbo-nodes")
+    session.add_plan(plan)

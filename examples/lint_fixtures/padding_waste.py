@@ -1,0 +1,15 @@
+"""AFF005: legal but wasteful padding.
+
+Aligning a 4-byte element at p/q = 4/1 to a 64 B-interleaved 4-byte
+array forces a 16 B padded stride — 75% of the footprint is padding,
+above the 50% warning threshold.
+"""
+
+
+def build(session):
+    from repro.analysis.plan import LayoutPlan
+
+    plan = LayoutPlan("padding_waste")
+    plan.array("A", 4, 4096)
+    plan.array("padded", 4, 4096, align_to="A", align_p=4)
+    session.add_plan(plan)

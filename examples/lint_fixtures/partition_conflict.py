@@ -1,0 +1,16 @@
+"""AFF003: self-conflicting specs.
+
+``part`` requests partitioning *and* inter-array alignment (mutually
+exclusive — a partitioned array's chunk placement is fully determined),
+and ``A`` is planned twice.
+"""
+
+
+def build(session):
+    from repro.analysis.plan import LayoutPlan
+
+    plan = LayoutPlan("partition_conflict")
+    plan.array("A", 4, 4096)
+    plan.array("part", 4, 4096, align_to="A", partition=True)
+    plan.array("A", 8, 1024)  # duplicate name
+    session.add_plan(plan)

@@ -1,0 +1,13 @@
+"""AFF006: predicted demand exceeds a pool's virtual reservation.
+
+2^39 four-byte elements is a 2 TiB footprint in the default 64 B
+interleave pool, which only reserves 1 TiB of virtual space.
+"""
+
+
+def build(session):
+    from repro.analysis.plan import LayoutPlan
+
+    plan = LayoutPlan("pool_exhaustion")
+    plan.array("huge", 4, 1 << 39)
+    session.add_plan(plan)

@@ -1,0 +1,23 @@
+"""RACE002 + RACE003: overlapping streams with no dependence edge.
+
+``s_read`` reads the same array ``s_write`` stores to, with no
+value/address/predicate edge ordering them (RACE002); ``s_w1``/``s_w2``
+are two unordered plain stores to one array (RACE003).
+"""
+
+from repro.core.api import AffineArray
+from repro.nsc.compiler import KernelBuilder
+
+
+def build(session):
+    n = 1 << 12
+    a = session.allocator.malloc_affine(AffineArray(4, n), name="A")
+    b = session.allocator.malloc_affine(AffineArray(4, n), name="B")
+
+    k = KernelBuilder("raw_no_edge", n)
+    k.load("s_read", a)
+    k.store("s_write", a)      # RAW vs s_read, no edge
+    k.store("s_w1", b)
+    k.store("s_w2", b, offset=1)  # WAW, no edge
+    session.add_kernel(k)
+    session.expect_clean_exit = False

@@ -1,0 +1,19 @@
+"""AFF001: alignment constraints with no satisfying layout.
+
+``bad_offset`` asks B[0] to align to A[1], but A[1] sits 4 bytes into a
+64 B interleave slot — no start bank realizes that offset.  ``bad_ratio``
+asks for a 2-byte element aligned with p/q = 2/3, and Eq. 3 yields a
+fractional interleave that padding cannot repair either.
+"""
+
+
+def build(session):
+    from repro.analysis.plan import LayoutPlan
+
+    plan = LayoutPlan("unsatisfiable_alignment")
+    plan.array("A", 4, 4096)
+    # offset 1 element = 4 bytes, not a multiple of the 64 B slot
+    plan.array("bad_offset", 4, 4096, align_to="A", align_x=1)
+    # g_B = 2*3*64/(2*4) = 48 < 64; padded stride 64*2*4/(3*64) = 8/3
+    plan.array("bad_ratio", 2, 4096, align_to="A", align_p=2, align_q=3)
+    session.add_plan(plan)

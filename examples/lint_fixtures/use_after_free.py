@@ -1,0 +1,9 @@
+"""LIF003: referencing an array after it was freed."""
+
+from repro.core.api import AffineArray
+
+
+def build(session):
+    a = session.allocator.malloc_affine(AffineArray(4, 1024), name="A")
+    session.allocator.free_aff(a)
+    session.use(a)  # dangling reference

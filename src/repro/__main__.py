@@ -9,6 +9,8 @@ Usage::
                                            # fanned across 8 processes
     python -m repro fig4 --no-cache        # bypass the artifact cache
     python -m repro run pr_push --mode Aff-Alloc --scale 0.1
+    python -m repro lint                   # afflint the workload layouts
+    python -m repro lint examples/lint_fixtures --expect-findings
 
 Results of ``all`` (and any multi-experiment invocation) are also written
 as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
@@ -32,6 +34,13 @@ EXPERIMENTS = runner.EXPERIMENTS
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # afflint has its own argument surface; delegate wholesale.
+        from repro.analysis.lint import cli as lint_cli
+        return lint_cli(list(argv[1:]))
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'Affinity Alloc' (MICRO 2023) experiments.")
@@ -52,6 +61,9 @@ def main(argv=None) -> int:
                         help="where run-<hash>.json lands (default results/)")
     parser.add_argument("--mode", default="Aff-Alloc",
                         choices=[m.value for m in EngineMode])
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the afflint pre-flight over workload "
+                             "layout plans")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -84,6 +96,7 @@ def main(argv=None) -> int:
         ids, jobs=args.jobs, scale=args.scale, seed=args.seed,
         use_cache=not args.no_cache,
         results_dir=args.results_dir if len(ids) > 1 else None,
+        preflight=not args.no_lint,
         progress=lambda line: print(line, file=sys.stderr, flush=True))
 
     for fig in report.figures:

@@ -1,0 +1,74 @@
+"""``afflint`` — static affinity/layout analysis (``python -m repro lint``).
+
+Four passes over a common typed-diagnostic core:
+
+* :mod:`repro.analysis.constraints` — AFF0xx constraint linting of
+  :class:`~repro.core.api.AffineArray` plans and allocator state,
+* :mod:`repro.analysis.lifetime` — LIF0xx allocation lifetime checking,
+* :mod:`repro.analysis.hazards` — RACE0xx stream-graph hazard detection,
+* :mod:`repro.analysis.coverage` — COV0xx static locality estimation.
+
+Only :mod:`repro.analysis.diagnostics` (and the dependency-free
+:mod:`repro.analysis.lifetime`) load eagerly: the runtime imports this
+package's exception types from deep inside ``core``/``vm``, so pulling in
+the passes here (which themselves import ``core``/``nsc``/``workloads``)
+would create an import cycle.  The pass modules resolve lazily via
+PEP 562 ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.analysis.diagnostics import (  # noqa: F401  (re-exported)
+    CODES,
+    AffinityError,
+    AllocationError,
+    AllocationSizeError,
+    AffinityCountError,
+    Diagnostic,
+    DiagnosticReport,
+    DoubleFreeError,
+    LayoutError,
+    LintFailure,
+    OversizeError,
+    PoolExhaustedError,
+    Severity,
+    Site,
+    UnknownAddressError,
+)
+
+__all__ = [
+    "CODES",
+    "AffinityError",
+    "AllocationError",
+    "AllocationSizeError",
+    "AffinityCountError",
+    "Diagnostic",
+    "DiagnosticReport",
+    "DoubleFreeError",
+    "LayoutError",
+    "LintFailure",
+    "OversizeError",
+    "PoolExhaustedError",
+    "Severity",
+    "Site",
+    "UnknownAddressError",
+    "constraints",
+    "coverage",
+    "diagnostics",
+    "hazards",
+    "lifetime",
+    "lint",
+    "plan",
+]
+
+_LAZY_SUBMODULES = ("constraints", "coverage", "diagnostics", "hazards",
+                    "lifetime", "lint", "plan")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f"repro.analysis.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,241 @@
+"""Constraint linting of layout plans and allocator state (``AFF0xx``).
+
+:func:`lint_plan` resolves a :class:`~repro.analysis.plan.LayoutPlan`
+with the runtime's own pure solver and diagnoses every way a layout can
+go wrong before a single byte is allocated:
+
+* AFF001 — an Eq. 2/3 alignment constraint has no layout (offset not a
+  slot multiple, or no legal interleave for the element ratio),
+* AFF002 — the alignment chain is broken (unknown / forward / fallback
+  target),
+* AFF003 — the spec itself conflicts (partition + align_to, intra-array
+  affinity with p/q != 1, malformed sizes),
+* AFF004 — the required interleaving has no backing pool,
+* AFF005 — forced element padding wastes more than
+  :data:`PADDING_WASTE_THRESHOLD` of the array's footprint,
+* AFF006 — predicted demand exceeds a pool's virtual reservation.
+
+:func:`lint_allocator` performs the same checks post-hoc against a live
+:class:`~repro.core.runtime.AffinityAllocator` (fallbacks that actually
+happened, pools nearing exhaustion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    LayoutError,
+    Severity,
+    Site,
+)
+from repro.analysis.plan import LayoutPlan, PlannedArray, ResolvedTarget
+from repro.core.affine import AffineLayout, LayoutKind, solve_affine_layout
+from repro.core.api import AffineArray
+from repro.machine import Machine
+from repro.vm.layout import VirtualLayout
+
+__all__ = ["lint_plan", "lint_allocator", "PADDING_WASTE_THRESHOLD",
+           "POOL_PRESSURE_THRESHOLD"]
+
+#: AFF005 fires when padding wastes more than this fraction of footprint.
+PADDING_WASTE_THRESHOLD = 0.5
+
+#: AFF006 (post-hoc) fires when a pool backed more than this fraction of
+#: its virtual reservation.
+POOL_PRESSURE_THRESHOLD = 0.9
+
+#: AffineLayout fallback codes -> (diagnostic code, one-line cause).
+_FALLBACK_CODE_MAP = {
+    "align-offset": ("AFF001", "align_x lands between interleave slots"),
+    "bad-ratio": ("AFF001", "no legal interleave exists for the element "
+                            "ratio (Eq. 3 yields a fraction)"),
+    "unsupported-interleave": ("AFF004", "Eq. 3 interleave has no backing "
+                                         "pool and is not page-aligned"),
+    "no-line-pool": ("AFF004", "no interleave pool can hold a cache line"),
+    "no-target": ("AFF002", "alignment target has no affinity layout"),
+}
+
+
+def _site(plan: LayoutPlan, name: str) -> Site:
+    return Site("array", name, detail=f"plan {plan.name}")
+
+
+def _diagnose_fallback(layout: AffineLayout, site: Site,
+                       report: DiagnosticReport) -> None:
+    code, cause = _FALLBACK_CODE_MAP.get(
+        layout.code, ("AFF001", "constraint system is unsatisfiable"))
+    report.add(Diagnostic(
+        code, Severity.ERROR, site,
+        f"{cause}: {layout.reason}",
+        fix_hint="relax the alignment (align_x on a slot boundary, "
+                 "integer p/q element ratio) or let the array fall back "
+                 "intentionally"))
+
+
+def _array_footprint(spec: PlannedArray, layout: AffineLayout) -> int:
+    stride = max(layout.stride, spec.elem_size)
+    return (spec.num_elem - 1) * stride + spec.elem_size
+
+
+def lint_plan(plan: LayoutPlan, machine: Optional[Machine] = None,
+              ) -> Tuple[DiagnosticReport, Dict[str, AffineLayout]]:
+    """Statically resolve every planned array and diagnose AFF0xx issues.
+
+    Returns the report plus the predicted layout per array name — the
+    exact :class:`AffineLayout` the runtime would choose, so callers (and
+    tests) can cross-check predictions against real allocations.
+    """
+    machine = machine if machine is not None else Machine()
+    pools, mesh = machine.pools, machine.mesh
+    line = machine.config.cache.line_bytes
+    page = machine.config.page_size
+    report = DiagnosticReport()
+    layouts: Dict[str, AffineLayout] = {}
+    strides: Dict[str, int] = {}
+    pool_demand: Dict[int, int] = {}
+    paged_demand = 0
+
+    seen: Dict[str, PlannedArray] = {}
+    for pa in plan.arrays:
+        site = _site(plan, pa.name)
+        if pa.name in seen:
+            report.add(Diagnostic(
+                "AFF003", Severity.ERROR, site,
+                f"array {pa.name!r} planned twice",
+                fix_hint="give each allocation a unique name"))
+            continue
+        seen[pa.name] = pa
+
+        target = None
+        if pa.align_to is not None:
+            if pa.align_to not in layouts:
+                known = pa.align_to in {p.name for p in plan.arrays}
+                report.add(Diagnostic(
+                    "AFF002", Severity.ERROR, site,
+                    f"aligns to {pa.align_to!r}, which is "
+                    + ("planned later (forward reference)" if known
+                       else "not in the plan"),
+                    fix_hint="plan the target array before its dependents"))
+                layouts[pa.name] = AffineLayout(
+                    LayoutKind.FALLBACK, 0, 0, pa.elem_size,
+                    "broken alignment chain", code="no-target")
+                strides[pa.name] = pa.elem_size
+                continue
+            target = ResolvedTarget(pa.align_to, layouts[pa.align_to],
+                                    strides[pa.align_to])
+
+        try:
+            spec = AffineArray(pa.elem_size, pa.num_elem, align_to=target,
+                               align_p=pa.align_p, align_q=pa.align_q,
+                               align_x=pa.align_x, partition=pa.partition)
+        except LayoutError as e:
+            report.add(Diagnostic(
+                "AFF003", Severity.ERROR, site, str(e),
+                fix_hint="fix the spec: partition and align_to are "
+                         "exclusive, intra-array affinity needs p == q == 1"))
+            layouts[pa.name] = AffineLayout(
+                LayoutKind.FALLBACK, 0, 0, max(pa.elem_size, 1),
+                f"invalid spec: {e}", code="bad-spec")
+            strides[pa.name] = max(pa.elem_size, 1)
+            continue
+
+        layout = solve_affine_layout(spec, pools, mesh, line, page)
+        layouts[pa.name] = layout
+        strides[pa.name] = layout.stride
+
+        if layout.kind is LayoutKind.FALLBACK:
+            _diagnose_fallback(layout, site, report)
+            continue
+
+        if layout.stride > pa.elem_size:
+            waste = 1.0 - pa.elem_size / layout.stride
+            if waste > PADDING_WASTE_THRESHOLD:
+                report.add(Diagnostic(
+                    "AFF005", Severity.WARNING, site,
+                    f"padding to a {layout.stride}B stride wastes "
+                    f"{waste:.0%} of the array's footprint "
+                    f"({layout.reason})",
+                    fix_hint="restructure the element ratio so Eq. 3 "
+                             "yields a legal interleave without padding"))
+
+        footprint = _array_footprint(pa, layout)
+        if layout.kind is LayoutKind.POOL:
+            nslots = -(-footprint // layout.intrlv)
+            pool_demand[layout.intrlv] = (pool_demand.get(layout.intrlv, 0)
+                                          + nslots * layout.intrlv)
+        else:  # PAGED: virtual range + page frames from the 4 KiB pool
+            nchunks = -(-footprint // layout.intrlv)
+            paged_demand += nchunks * layout.intrlv
+            pool_demand[page] = (pool_demand.get(page, 0)
+                                 + nchunks * layout.intrlv)
+
+    for dem in plan.irregular:
+        site = Site("alloc", dem.label, detail=f"plan {plan.name}")
+        intrlv = pools.round_to_valid_interleave(dem.size)
+        if intrlv is None:
+            report.add(Diagnostic(
+                "AFF004", Severity.ERROR, site,
+                f"irregular objects of {dem.size}B exceed the largest "
+                f"interleaving ({pools.interleaves[-1]}B)",
+                fix_hint="use an affine allocation for objects beyond "
+                         "the largest pool interleave"))
+            continue
+        pool_demand[intrlv] = (pool_demand.get(intrlv, 0)
+                               + dem.count * intrlv)
+
+    for intrlv, demand in sorted(pool_demand.items()):
+        if demand > VirtualLayout.POOL_STRIDE:
+            report.add(Diagnostic(
+                "AFF006", Severity.ERROR,
+                Site("pool", f"{intrlv}B", detail=f"plan {plan.name}"),
+                f"predicted demand {demand / 2**40:.2f} TiB exceeds the "
+                f"{VirtualLayout.POOL_STRIDE / 2**40:.0f} TiB reservation",
+                fix_hint="shrink the working set or split it across "
+                         "interleavings"))
+    if paged_demand > VirtualLayout.PAGED_SIZE:
+        report.add(Diagnostic(
+            "AFF006", Severity.ERROR,
+            Site("pool", "paged-segment", detail=f"plan {plan.name}"),
+            f"predicted paged demand {paged_demand / 2**40:.2f} TiB "
+            f"exceeds the {VirtualLayout.PAGED_SIZE / 2**40:.0f} TiB "
+            "segment",
+            fix_hint="shrink the partitioned arrays"))
+    return report, layouts
+
+
+def lint_allocator(allocator) -> DiagnosticReport:
+    """Post-hoc AFF0xx checks against a live allocator's state."""
+    report = DiagnosticReport()
+    for vaddr, rec in sorted(allocator._records.items()):
+        layout = rec.layout
+        name = rec.handle.name or f"{vaddr:#x}"
+        site = Site("array", name)
+        if layout.kind is LayoutKind.FALLBACK:
+            code, cause = _FALLBACK_CODE_MAP.get(
+                layout.code, ("AFF001", "constraint unsatisfiable"))
+            report.add(Diagnostic(
+                code, Severity.WARNING, site,
+                f"allocation fell back to the baseline heap — {cause}: "
+                f"{layout.reason}",
+                fix_hint="this array has no bank affinity at runtime"))
+        elif layout.stride > rec.handle.elem_size:
+            waste = 1.0 - rec.handle.elem_size / layout.stride
+            if waste > PADDING_WASTE_THRESHOLD:
+                report.add(Diagnostic(
+                    "AFF005", Severity.WARNING, site,
+                    f"padded to {layout.stride}B stride "
+                    f"({waste:.0%} waste)",
+                    fix_hint="restructure the element ratio to avoid "
+                             "padding"))
+    for intrlv in allocator.pools.interleaves:
+        pool = allocator.pools.pool(intrlv)
+        frac = pool.backed_bytes / VirtualLayout.POOL_STRIDE
+        if frac > POOL_PRESSURE_THRESHOLD:
+            report.add(Diagnostic(
+                "AFF006", Severity.WARNING, Site("pool", f"{intrlv}B"),
+                f"pool has backed {frac:.0%} of its reservation",
+                fix_hint="the next expansion may raise PoolExhaustedError"))
+    return report

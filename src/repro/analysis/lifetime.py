@@ -1,0 +1,100 @@
+"""Allocation lifetime checking (afflint pass 2: ``LIF0xx``).
+
+The runtime (``AffinityAllocator(record_events=True)``) records a linear
+sequence of :class:`AllocEvent` values — one per ``malloc_aff`` /
+``free_aff`` / handle use — and :func:`check_lifetime` replays it to
+report double frees (LIF001), leaks at exit (LIF002), uses after free
+(LIF003), and frees of never-allocated addresses (LIF004).
+
+This module imports only :mod:`repro.analysis.diagnostics`, so the core
+runtime may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    Site,
+)
+
+__all__ = ["AllocEvent", "check_lifetime"]
+
+#: Cap on individually-reported leaks; the rest collapse into one note.
+MAX_LEAK_REPORTS = 10
+
+
+@dataclass(frozen=True)
+class AllocEvent:
+    """One step of an allocation lifetime trace.
+
+    Attributes:
+        op: ``"alloc"``, ``"free"``, or ``"use"``.
+        vaddr: the allocation's base virtual address.
+        size: bytes (alloc events only; 0 otherwise).
+        label: human name of the object (array name, "irregular", ...).
+    """
+
+    op: str
+    vaddr: int
+    size: int = 0
+    label: str = ""
+
+
+def _site(vaddr: int, label: str) -> Site:
+    return Site("alloc", label or f"{vaddr:#x}")
+
+
+def check_lifetime(events: Iterable[AllocEvent],
+                   expect_clean_exit: bool = True) -> DiagnosticReport:
+    """Replay a lifetime trace and report LIF0xx findings."""
+    report = DiagnosticReport()
+    live: Dict[int, AllocEvent] = {}
+    freed: Dict[int, str] = {}  # vaddr -> label at time of free
+    for ev in events:
+        if ev.op == "alloc":
+            live[ev.vaddr] = ev
+            freed.pop(ev.vaddr, None)
+        elif ev.op == "free":
+            if ev.vaddr in live:
+                rec = live.pop(ev.vaddr)
+                freed[ev.vaddr] = rec.label or ev.label
+            elif ev.vaddr in freed:
+                report.add(Diagnostic(
+                    "LIF001", Severity.ERROR,
+                    _site(ev.vaddr, ev.label or freed[ev.vaddr]),
+                    f"free_aff called twice on {ev.vaddr:#x}",
+                    fix_hint="drop the second free_aff, or null the "
+                             "pointer after the first"))
+            else:
+                report.add(Diagnostic(
+                    "LIF004", Severity.WARNING,
+                    _site(ev.vaddr, ev.label),
+                    f"free_aff of {ev.vaddr:#x}, which was never allocated",
+                    fix_hint="free only addresses returned by malloc_aff"))
+        elif ev.op == "use":
+            if ev.vaddr in freed and ev.vaddr not in live:
+                report.add(Diagnostic(
+                    "LIF003", Severity.ERROR,
+                    _site(ev.vaddr, ev.label or freed[ev.vaddr]),
+                    f"use of {ev.vaddr:#x} after it was freed",
+                    fix_hint="keep the allocation live across every "
+                             "kernel that references it"))
+        else:
+            raise ValueError(f"unknown lifetime op {ev.op!r}")
+    if expect_clean_exit:
+        leaks = list(live.values())
+        for ev in leaks[:MAX_LEAK_REPORTS]:
+            report.add(Diagnostic(
+                "LIF002", Severity.WARNING, _site(ev.vaddr, ev.label),
+                f"{ev.size or '?'}B allocation at {ev.vaddr:#x} never freed",
+                fix_hint="free_aff every allocation before exit"))
+        if len(leaks) > MAX_LEAK_REPORTS:
+            report.add(Diagnostic(
+                "LIF002", Severity.NOTE, Site("plan", "lifetime"),
+                f"{len(leaks) - MAX_LEAK_REPORTS} further leak(s) suppressed"))
+    return report

@@ -1,0 +1,237 @@
+"""The afflint orchestrator and CLI (``python -m repro lint``).
+
+A :class:`LintSession` is the analysis-time analogue of a run context:
+it owns a machine and a *recording* allocator (``record_events=True``),
+and fixtures/workloads register layout plans and kernels against it.
+:func:`run_passes` then drives all four passes and merges their findings
+into one deduplicated :class:`DiagnosticReport`:
+
+1. constraint linting of every registered plan (+ allocator state),
+2. lifetime checking of the allocator's event trace,
+3. stream-graph hazard detection per kernel,
+4. static coverage estimation per kernel (and per plan, as notes).
+
+The CLI lints the shipped workloads' layout plans by default, or fixture
+files (modules defining ``build(session)``) when paths are given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import constraints, coverage, hazards, lifetime
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.plan import LayoutPlan
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+__all__ = ["LintSession", "LintResult", "run_passes", "lint_fixture_file",
+           "lint_workload_plans", "cli"]
+
+
+class LintSession:
+    """Analysis-time context fixtures and workloads lint against."""
+
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
+                 strict: bool = False, seed: int = 0):
+        self.machine = Machine(config, seed=seed)
+        self.allocator = AffinityAllocator(self.machine, strict=strict,
+                                           record_events=True)
+        self.plans: List[LayoutPlan] = []
+        self.kernels: List[object] = []
+        #: Set False when leaked allocations at session end are expected.
+        self.expect_clean_exit = True
+
+    # Convenience alias so fixtures read like workload code.
+    @property
+    def alloc(self) -> AffinityAllocator:
+        return self.allocator
+
+    def add_plan(self, plan: LayoutPlan) -> LayoutPlan:
+        self.plans.append(plan)
+        return plan
+
+    def add_kernel(self, kernel) -> object:
+        """Register a kernel (KernelBuilder or CompiledKernel).
+
+        Registration counts as a *use* of every array the kernel touches,
+        so freeing an array before registering a kernel over it is a
+        use-after-free (LIF003).
+        """
+        builder = getattr(kernel, "builder", kernel)
+        if builder is not None and hasattr(builder, "accesses"):
+            for acc in builder.accesses():
+                vaddr = getattr(acc.handle, "vaddr", None)
+                if vaddr is not None:
+                    self.allocator.record_use(
+                        int(vaddr), getattr(acc.handle, "name", acc.name))
+        self.kernels.append(kernel)
+        return kernel
+
+    def use(self, handle) -> None:
+        """Explicitly mark a handle/address as referenced."""
+        vaddr = getattr(handle, "vaddr", handle)
+        self.allocator.record_use(int(vaddr),
+                                  getattr(handle, "name", ""))
+
+
+@dataclass
+class LintResult:
+    """Merged findings plus the per-kernel coverage reports."""
+
+    report: DiagnosticReport
+    coverages: List[coverage.KernelCoverage] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [c.render() for c in self.coverages]
+        parts.append(self.report.render())
+        return "\n\n".join(parts)
+
+
+def _merge(target: DiagnosticReport, source: DiagnosticReport,
+           seen: set) -> None:
+    for d in source:
+        key = (d.code, str(d.site), d.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        target.add(d)
+
+
+def run_passes(session: LintSession) -> LintResult:
+    """Drive all four afflint passes over one session."""
+    merged = DiagnosticReport()
+    seen: set = set()
+    coverages: List[coverage.KernelCoverage] = []
+
+    for plan in session.plans:
+        plan_report, layouts = constraints.lint_plan(plan, session.machine)
+        _merge(merged, plan_report, seen)
+        cov_report, _frac = coverage.estimate_plan_coverage(
+            plan, layouts, session.machine)
+        _merge(merged, cov_report, seen)
+
+    _merge(merged, constraints.lint_allocator(session.allocator), seen)
+
+    events = session.allocator.events or []
+    _merge(merged,
+           lifetime.check_lifetime(events, session.expect_clean_exit),
+           seen)
+
+    for kernel in session.kernels:
+        graph = getattr(kernel, "graph", None)
+        name = getattr(kernel, "name", "")
+        if graph is not None:
+            _merge(merged, hazards.check_graph(graph, name), seen)
+        builder = getattr(kernel, "builder", kernel)
+        if builder is not None and hasattr(builder, "accesses"):
+            if graph is None:
+                from repro.nsc.compiler import _build_graph
+                _merge(merged,
+                       hazards.check_graph(_build_graph(builder),
+                                           builder.name), seen)
+            cov = coverage.estimate_kernel_coverage(builder, session.machine)
+            coverages.append(cov)
+            _merge(merged, cov.diagnostics(session.machine), seen)
+    return LintResult(merged, coverages)
+
+
+def lint_fixture_file(path, strict: bool = False,
+                      config: SystemConfig = DEFAULT_CONFIG) -> LintResult:
+    """Lint one fixture module (must define ``build(session)``)."""
+    path = Path(path)
+    spec = importlib.util.spec_from_file_location(
+        f"lint_fixture_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load fixture {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    build = getattr(module, "build", None)
+    if build is None:
+        raise ImportError(f"fixture {path} defines no build(session)")
+    session = LintSession(config, strict=strict)
+    build(session)
+    return run_passes(session)
+
+
+def lint_workload_plans(scale: float = 0.12,
+                        config: SystemConfig = DEFAULT_CONFIG,
+                        ) -> Tuple[LintResult, Dict[str, DiagnosticReport]]:
+    """Lint the layout plan of every shipped workload that declares one."""
+    from repro.workloads import WORKLOADS
+
+    session = LintSession(config)
+    per_workload: Dict[str, DiagnosticReport] = {}
+    for name in sorted(WORKLOADS):
+        plan = WORKLOADS[name].layout_plan(scale)
+        if plan is None:
+            continue
+        report, layouts = constraints.lint_plan(plan, session.machine)
+        cov_report, _ = coverage.estimate_plan_coverage(
+            plan, layouts, session.machine)
+        report.extend(cov_report)
+        per_workload[name] = report
+        session.add_plan(plan)
+    result = run_passes(session)
+    return result, per_workload
+
+
+def _collect_fixture_paths(paths: List[str]) -> List[Path]:
+    out: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(sorted(f for f in path.glob("*.py")
+                              if not f.name.startswith("_")))
+        else:
+            out.append(path)
+    return out
+
+
+def cli(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="afflint: static affinity/layout analysis.")
+    parser.add_argument("paths", nargs="*",
+                        help="fixture files or directories; with none "
+                             "given, lints every shipped workload's "
+                             "layout plan")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on warnings, not just errors")
+    parser.add_argument("--scale", type=float, default=0.12,
+                        help="workload scale for plan linting "
+                             "(default 0.12)")
+    parser.add_argument("--expect-findings", action="store_true",
+                        help="invert the exit code: succeed only if "
+                             "findings were reported (CI fixture check)")
+    args = parser.parse_args(argv)
+
+    any_findings = False
+    any_errors = False
+    if args.paths:
+        for path in _collect_fixture_paths(args.paths):
+            result = lint_fixture_file(path)
+            print(f"== {path.name} ==")
+            print(result.render())
+            print()
+            any_findings |= result.report.has_findings
+            any_errors |= result.report.has_errors
+    else:
+        result, per_workload = lint_workload_plans(scale=args.scale)
+        for name, report in per_workload.items():
+            print(f"{name}: {report.summary()}")
+        print()
+        print(result.render())
+        any_findings = result.report.has_findings
+        any_errors = result.report.has_errors
+
+    if args.expect_findings:
+        return 0 if any_findings else 1
+    if any_errors or (args.strict and any_findings):
+        return 1
+    return 0

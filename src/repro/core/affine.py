@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.diagnostics import DoubleFreeError
 from repro.arch.address import align_up, is_power_of_two
 from repro.arch.mesh import Mesh
 from repro.core.api import AffineArray
@@ -52,6 +53,10 @@ class AffineLayout:
         start_bank: bank that element 0 must land on.
         stride: element stride in bytes (> elem_size when padded).
         reason: human-readable note (why fallback / why padded).
+        code: machine-readable decision tag for the static analyzer
+            (``afflint``), so diagnostics never parse ``reason`` strings.
+            Fallback codes: ``align-offset``, ``bad-ratio``,
+            ``unsupported-interleave``, ``no-line-pool``, ``no-target``.
     """
 
     kind: LayoutKind
@@ -59,6 +64,7 @@ class AffineLayout:
     start_bank: int
     stride: int
     reason: str = ""
+    code: str = ""
 
 
 def _bank_delta_distance(mesh: Mesh, slot_delta: int) -> float:
@@ -96,11 +102,13 @@ def solve_affine_layout(spec: AffineArray, pools: PoolManager, mesh: Mesh,
     default = pools.round_to_valid_interleave(line_bytes)
     if default is None:
         return AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
-                            "no interleave pool can hold a cache line")
+                            "no interleave pool can hold a cache line",
+                            code="no-line-pool")
     return AffineLayout(LayoutKind.POOL, default, 0, spec.elem_size,
                         "default cache-line interleave"
                         if default == line_bytes
-                        else f"coarsest-available default {default}B")
+                        else f"coarsest-available default {default}B",
+                        code="default")
 
 
 def _solve_partition(spec: AffineArray, pools: PoolManager, page_size: int) -> AffineLayout:
@@ -109,10 +117,12 @@ def _solve_partition(spec: AffineArray, pools: PoolManager, page_size: int) -> A
     pool_intrlv = pools.round_to_valid_interleave(chunk)
     if pool_intrlv is not None:
         return AffineLayout(LayoutKind.POOL, pool_intrlv, 0, spec.elem_size,
-                            f"partition: {chunk}B/bank rounded to {pool_intrlv}B pool")
+                            f"partition: {chunk}B/bank rounded to {pool_intrlv}B pool",
+                            code="partition-pool")
     paged_chunk = align_up(chunk, page_size)
     return AffineLayout(LayoutKind.PAGED, paged_chunk, 0, spec.elem_size,
-                        f"partition: {paged_chunk}B/bank via page mapping")
+                        f"partition: {paged_chunk}B/bank via page mapping",
+                        code="partition-paged")
 
 
 def _solve_intra_array(spec: AffineArray, pools: PoolManager, mesh: Mesh) -> AffineLayout:
@@ -126,7 +136,8 @@ def _solve_intra_array(spec: AffineArray, pools: PoolManager, mesh: Mesh) -> Aff
             best = (d, g)
     assert best is not None
     return AffineLayout(LayoutKind.POOL, best[1], 0, spec.elem_size,
-                        f"intra-array: E[dist]={best[0]:.3f} at {best[1]}B")
+                        f"intra-array: E[dist]={best[0]:.3f} at {best[1]}B",
+                        code="intra")
 
 
 def _solve_inter_array(spec: AffineArray, pools: PoolManager, page_size: int) -> AffineLayout:
@@ -134,7 +145,8 @@ def _solve_inter_array(spec: AffineArray, pools: PoolManager, page_size: int) ->
     layout = getattr(target, "layout", None)
     if layout is None or layout.kind is LayoutKind.FALLBACK:
         return AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
-                            "align target has no affinity layout")
+                            "align target has no affinity layout",
+                            code="no-target")
     g_a = layout.intrlv
     stride_a = target.stride
 
@@ -143,7 +155,8 @@ def _solve_inter_array(spec: AffineArray, pools: PoolManager, page_size: int) ->
     off_bytes = spec.align_x * stride_a
     if off_bytes % g_a:
         return AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
-                            f"align_x offset {off_bytes}B not a multiple of {g_a}B")
+                            f"align_x offset {off_bytes}B not a multiple of {g_a}B",
+                            code="align-offset")
     start_bank = (layout.start_bank + off_bytes // g_a) % pools.num_banks
 
     # Eq. 3: intrlv_B = (elem_B / elem_A) * (q / p) * intrlv_A, with the
@@ -155,12 +168,14 @@ def _solve_inter_array(spec: AffineArray, pools: PoolManager, page_size: int) ->
         g = int(g_b)
         if pools.has_pool(g):
             return AffineLayout(LayoutKind.POOL, g, start_bank, spec.elem_size,
-                                f"Eq.3 interleave {g}B")
+                                f"Eq.3 interleave {g}B", code="eq3")
         if g % page_size == 0:
             return AffineLayout(LayoutKind.PAGED, g, start_bank, spec.elem_size,
-                                f"Eq.3 interleave {g}B via page mapping")
+                                f"Eq.3 interleave {g}B via page mapping",
+                                code="eq3")
         return AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
-                            f"Eq.3 interleave {g}B unsupported")
+                            f"Eq.3 interleave {g}B unsupported",
+                            code="unsupported-interleave")
 
     # Sub-line interleave: pad elements so a 64 B interleave keeps the
     # same slot-advance rate (paper: "mitigated by padding the array").
@@ -168,9 +183,11 @@ def _solve_inter_array(spec: AffineArray, pools: PoolManager, page_size: int) ->
     stride_b = Fraction(64 * spec.align_p * stride_a, spec.align_q * g_a)
     if stride_b.denominator == 1 and int(stride_b) >= spec.elem_size:
         return AffineLayout(LayoutKind.POOL, 64, start_bank, int(stride_b),
-                            f"padded stride {int(stride_b)}B at 64B interleave")
+                            f"padded stride {int(stride_b)}B at 64B interleave",
+                            code="padded")
     return AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
-                        f"no legal interleave for ratio {g_b}")
+                        f"no legal interleave for ratio {g_b}",
+                        code="bad-ratio")
 
 
 class PoolSpace:
@@ -243,7 +260,7 @@ class PoolSpace:
             if merged and merged[-1][0] + merged[-1][1] >= s:
                 ps, pn = merged[-1]
                 if ps + pn > s:
-                    raise ValueError("double free detected in PoolSpace")
+                    raise DoubleFreeError("double free detected in PoolSpace")
                 merged[-1] = (ps, pn + n)
             else:
                 merged.append((s, n))

@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.analysis.diagnostics import LayoutError
 from repro.machine import Machine
 
 __all__ = ["AffineArray", "ArrayHandle", "AddressView", "alloc_plain_array"]
@@ -61,20 +62,20 @@ class AffineArray:
 
     def __post_init__(self):
         if self.elem_size <= 0:
-            raise ValueError(f"elem_size must be positive, got {self.elem_size}")
+            raise LayoutError(f"elem_size must be positive, got {self.elem_size}")
         if self.num_elem <= 0:
-            raise ValueError(f"num_elem must be positive, got {self.num_elem}")
+            raise LayoutError(f"num_elem must be positive, got {self.num_elem}")
         if self.align_p < 1 or self.align_q < 1:
-            raise ValueError("align_p and align_q must be >= 1")
+            raise LayoutError("align_p and align_q must be >= 1")
         if self.align_x < 0:
-            raise ValueError("align_x must be non-negative")
+            raise LayoutError("align_x must be non-negative")
         if self.align_to is not None and self.partition:
-            raise ValueError("partition and align_to are mutually exclusive; "
-                             "align to the partitioned array instead")
+            raise LayoutError("partition and align_to are mutually exclusive; "
+                              "align to the partitioned array instead")
         if self.align_to is None and self.align_x and (self.align_p != 1 or self.align_q != 1):
             # Paper footnote 5: for intra-array affinity p = q = 1,
             # otherwise the alignment is no longer affine.
-            raise ValueError("intra-array affinity requires align_p == align_q == 1")
+            raise LayoutError("intra-array affinity requires align_p == align_q == 1")
 
     @property
     def total_bytes(self) -> int:

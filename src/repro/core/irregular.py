@@ -14,7 +14,7 @@ falls in (paper §5.1 "Free Data").
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 import numpy as np
 
@@ -37,6 +37,11 @@ class SlotPool:
         self.slots_per_bank_per_expand = slots_per_bank_per_expand
         self._free: List[List[int]] = [[] for _ in range(self.num_banks)]
         self.live = 0
+        # Lifetime tracking for the afflint lifetime checker: which slot
+        # vaddrs are currently handed out, and which were handed out once
+        # and returned (distinguishes double-free from bogus-address free).
+        self._live: Set[int] = set()
+        self._released: Set[int] = set()
 
     # ------------------------------------------------------------------
     def alloc_on_bank(self, bank: int) -> int:
@@ -46,7 +51,10 @@ class SlotPool:
         if not self._free[bank]:
             self._expand()
         self.live += 1
-        return self._free[bank].pop()
+        vaddr = self._free[bank].pop()
+        self._live.add(vaddr)
+        self._released.discard(vaddr)
+        return vaddr
 
     def alloc_many_on_banks(self, banks: np.ndarray) -> np.ndarray:
         """Pop one slot per entry of ``banks`` (batched ``alloc_on_bank``).
@@ -69,6 +77,8 @@ class SlotPool:
                 continue
             slots = [self._free[b].pop() for _ in range(count)]
             out[order[lo:hi]] = slots
+            self._live.update(slots)
+            self._released.difference_update(slots)
         self.live += int(banks.size)
         return out
 
@@ -80,7 +90,21 @@ class SlotPool:
             raise ValueError(f"{vaddr:#x} is not slot-aligned in the {self.intrlv}B pool")
         bank = int(self.pool.bank_of(vaddr))
         self._free[bank].append(vaddr)
+        self._live.discard(vaddr)
+        self._released.add(vaddr)
         self.live -= 1
+
+    def slot_state(self, vaddr: int) -> str:
+        """Lifetime state of a slot vaddr: ``live``, ``freed``, or ``invalid``.
+
+        ``freed`` means the slot was allocated at some point and has been
+        returned; ``invalid`` means this pool never handed it out.
+        """
+        if vaddr in self._live:
+            return "live"
+        if vaddr in self._released:
+            return "freed"
+        return "invalid"
 
     def bank_of(self, vaddr: int) -> int:
         return int(self.pool.bank_of(vaddr))

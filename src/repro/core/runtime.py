@@ -21,6 +21,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.diagnostics import (
+    AffinityCountError,
+    AllocationSizeError,
+    Diagnostic,
+    DoubleFreeError,
+    LayoutError,
+    OversizeError,
+    Severity,
+    Site,
+    UnknownAddressError,
+)
+from repro.analysis.lifetime import AllocEvent
 from repro.core.affine import AffineLayout, LayoutKind, PoolSpace, solve_affine_layout
 from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
 from repro.core.irregular import SlotPool
@@ -43,6 +55,8 @@ class AllocStats:
     frees: int = 0
     heap_frees: int = 0
     reallocs: int = 0
+    double_frees: int = 0
+    unknown_frees: int = 0
 
 
 @dataclass
@@ -57,16 +71,56 @@ class _AffineRecord:
 class AffinityAllocator:
     """Affinity-aware allocation runtime for one machine/process."""
 
-    def __init__(self, machine: Machine, policy: Optional[BankSelectPolicy] = None):
+    def __init__(self, machine: Machine, policy: Optional[BankSelectPolicy] = None,
+                 strict: bool = False, record_events: bool = False):
+        """Args:
+            machine: the simulated chip/process facade.
+            policy: bank-selection policy for irregular allocations.
+            strict: raise :class:`DoubleFreeError` /
+                :class:`UnknownAddressError` on bad ``free_aff`` calls
+                instead of only diagnosing them (warn is the default).
+            record_events: keep an :class:`AllocEvent` trace in
+                ``self.events`` for the afflint lifetime checker.
+        """
         self.machine = machine
         self.pools = machine.pools
         self.mesh = machine.mesh
         self.policy = policy if policy is not None else HybridPolicy(5.0)
         self.load = LoadTracker(machine.num_banks)
         self.stats = AllocStats()
+        self.strict = strict
+        self.diagnostics: List[Diagnostic] = []
+        self.events: Optional[List[AllocEvent]] = [] if record_events else None
         self._affine_spaces: Dict[int, PoolSpace] = {}
         self._slot_pools: Dict[int, SlotPool] = {}
         self._records: Dict[int, _AffineRecord] = {}
+        self._freed_affine: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifetime bookkeeping
+    # ------------------------------------------------------------------
+    def _note_event(self, op: str, vaddr: int, size: int = 0,
+                    label: str = "") -> None:
+        if self.events is not None:
+            self.events.append(AllocEvent(op, vaddr, size, label))
+
+    def record_use(self, vaddr: int, label: str = "") -> None:
+        """Mark an address as referenced (for use-after-free checking)."""
+        self._note_event("use", vaddr, label=label)
+
+    def _bad_free(self, code: str, vaddr: int, message: str, hint: str) -> None:
+        severity = Severity.ERROR if self.strict else Severity.WARNING
+        self.diagnostics.append(Diagnostic(
+            code, severity, Site("alloc", f"{vaddr:#x}"), message,
+            fix_hint=hint))
+        if code == "LIF001":
+            self.stats.double_frees += 1
+            if self.strict:
+                raise DoubleFreeError(message)
+        else:
+            self.stats.unknown_frees += 1
+            if self.strict:
+                raise UnknownAddressError(message)
 
     # ------------------------------------------------------------------
     # Internals
@@ -97,12 +151,14 @@ class AffinityAllocator:
                                        spec.num_elem, name=name)
             handle.layout = layout
             self._records[handle.vaddr] = _AffineRecord(handle, layout)
-            return handle
-        if layout.kind is LayoutKind.POOL:
-            handle = self._alloc_pool(spec, layout, name)
         else:
-            handle = self._alloc_paged(spec, layout, name)
-        self.stats.affine_allocs += 1
+            if layout.kind is LayoutKind.POOL:
+                handle = self._alloc_pool(spec, layout, name)
+            else:
+                handle = self._alloc_paged(spec, layout, name)
+            self.stats.affine_allocs += 1
+        self._freed_affine.discard(handle.vaddr)
+        self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
         return handle
 
     def _alloc_pool(self, spec: AffineArray, layout: AffineLayout,
@@ -162,15 +218,17 @@ class AffinityAllocator:
         valid interleaving; the bank is chosen by the configured policy.
         """
         if size <= 0:
-            raise ValueError("size must be positive")
+            raise AllocationSizeError("size must be positive")
         if len(aff_addrs) > self.MAX_AFF_ADDRS:
-            raise ValueError(f"at most {self.MAX_AFF_ADDRS} affinity addresses; "
-                             "sample a subset (paper §5.1)")
+            raise AffinityCountError(
+                f"at most {self.MAX_AFF_ADDRS} affinity addresses; "
+                "sample a subset (paper §5.1)")
         intrlv = self.pools.round_to_valid_interleave(size)
         if intrlv is None:
-            raise ValueError(f"irregular allocation of {size}B exceeds the largest "
-                             f"interleaving ({self.pools.interleaves[-1]}B); "
-                             "use an affine allocation instead")
+            raise OversizeError(
+                f"irregular allocation of {size}B exceeds the largest "
+                f"interleaving ({self.pools.interleaves[-1]}B); "
+                "use an affine allocation instead")
         if aff_addrs:
             aff_banks = self.machine.banks_of(np.asarray(list(aff_addrs), dtype=np.int64))
         else:
@@ -181,6 +239,7 @@ class AffinityAllocator:
         paddr = self.machine.space.translate_one(vaddr)
         self.machine.llc.register_range(paddr, intrlv)
         self.stats.irregular_allocs += 1
+        self._note_event("alloc", vaddr, intrlv, "irregular")
         return vaddr
 
     def malloc_irregular_batch(self, size: int, aff_addrs: np.ndarray,
@@ -202,11 +261,11 @@ class AffinityAllocator:
         Returns the ``n`` virtual addresses in allocation order.
         """
         if size <= 0 or n <= 0:
-            raise ValueError("size and n must be positive")
+            raise AllocationSizeError("size and n must be positive")
         intrlv = self.pools.round_to_valid_interleave(size)
         if intrlv is None:
-            raise ValueError(f"irregular allocation of {size}B exceeds the "
-                             "largest interleaving")
+            raise OversizeError(f"irregular allocation of {size}B exceeds "
+                                "the largest interleaving")
         nb = self.machine.num_banks
         aff_addrs = np.asarray(aff_addrs, dtype=np.int64)
         alloc_ids = np.asarray(alloc_ids, dtype=np.int64)
@@ -222,6 +281,9 @@ class AffinityAllocator:
         vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
         self.machine.llc.register_by_banks(chosen, float(intrlv))
         self.stats.irregular_allocs += n
+        if self.events is not None:
+            for va in vaddrs.tolist():
+                self._note_event("alloc", va, intrlv, "irregular")
         return vaddrs
 
     def malloc_irregular_chained(self, size: int, prev_ids: np.ndarray,
@@ -248,8 +310,8 @@ class AffinityAllocator:
             raise ValueError("prev_ids must reference earlier allocations")
         intrlv = self.pools.round_to_valid_interleave(size)
         if intrlv is None:
-            raise ValueError(f"irregular allocation of {size}B exceeds the "
-                             "largest interleaving")
+            raise OversizeError(f"irregular allocation of {size}B exceeds "
+                                "the largest interleaving")
         nb = self.machine.num_banks
         head_banks = np.full(n, -1, dtype=np.int64)
         if head_addrs is not None:
@@ -267,6 +329,9 @@ class AffinityAllocator:
         vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
         self.machine.llc.register_by_banks(chosen, float(intrlv))
         self.stats.irregular_allocs += n
+        if self.events is not None:
+            for va in vaddrs.tolist():
+                self._note_event("alloc", va, intrlv, "irregular")
         return vaddrs
 
     def _chained_hybrid(self, prev_ids: np.ndarray, head_banks: np.ndarray,
@@ -313,8 +378,8 @@ class AffinityAllocator:
         """
         if isinstance(spec_or_size, AffineArray):
             if aff_addrs:
-                raise ValueError("affinity addresses apply to irregular "
-                                 "allocations only")
+                raise LayoutError("affinity addresses apply to irregular "
+                                  "allocations only")
             return self.malloc_affine(spec_or_size, name=name)
         return self.malloc_irregular(int(spec_or_size), aff_addrs)
 
@@ -325,25 +390,62 @@ class AffinityAllocator:
         The runtime distinguishes them by checking the recorded affine
         arrays first (paper §5.1 "Free Data"); irregular objects carry no
         metadata — their interleaving is inferred from the owning pool.
+
+        A double free or a free of a never-allocated address is diagnosed
+        (``LIF001`` / ``LIF004``), counted in :class:`AllocStats`, and —
+        under ``strict=True`` — raised as :class:`DoubleFreeError` /
+        :class:`UnknownAddressError`; it is *never* silently treated as a
+        baseline-heap free.
         """
         vaddr = obj.vaddr if isinstance(obj, ArrayHandle) else int(obj)
         rec = self._records.pop(vaddr, None)
-        self.stats.frees += 1
         if rec is not None:
+            self.stats.frees += 1
+            self._freed_affine.add(vaddr)
             self._free_affine(rec)
+            self._note_event("free", vaddr, label=rec.handle.name)
+            return
+        if vaddr in self._freed_affine:
+            self._note_event("free", vaddr)
+            self._bad_free("LIF001", vaddr,
+                           f"double free of affine array at {vaddr:#x}",
+                           "drop the second free_aff")
             return
         pool = self.pools.pool_containing(vaddr)
         if pool is not None:
             sp = self._slot_pool(pool.intrlv)
-            bank = sp.bank_of(vaddr)
-            sp.free_slot(vaddr)
-            self.load.remove(bank)
-            paddr = self.machine.space.translate_one(vaddr)
-            self.machine.llc.unregister_range(paddr, pool.intrlv)
+            state = sp.slot_state(vaddr)
+            if state == "live":
+                bank = sp.bank_of(vaddr)
+                sp.free_slot(vaddr)
+                self.load.remove(bank)
+                paddr = self.machine.space.translate_one(vaddr)
+                self.machine.llc.unregister_range(paddr, pool.intrlv)
+                self.stats.frees += 1
+                self._note_event("free", vaddr, label="irregular")
+                return
+            self._note_event("free", vaddr, label="irregular")
+            if state == "freed":
+                self._bad_free("LIF001", vaddr,
+                               f"double free of irregular object at {vaddr:#x}",
+                               "drop the second free_aff")
+            else:
+                self._bad_free("LIF004", vaddr,
+                               f"free_aff of {vaddr:#x}, which the "
+                               f"{pool.intrlv}B pool never handed out",
+                               "free only addresses returned by malloc_aff")
             return
-        # Baseline-heap object (fallback allocation freed by address, or a
-        # plain malloc): the bump heap does not reclaim.
-        self.stats.heap_frees += 1
+        if self.machine.heap_contains(vaddr):
+            # Baseline-heap object (plain malloc freed through free_aff):
+            # the bump heap does not reclaim, and it tracks no lifetimes,
+            # so no lifetime event is recorded either.
+            self.stats.frees += 1
+            self.stats.heap_frees += 1
+            return
+        self._note_event("free", vaddr)
+        self._bad_free("LIF004", vaddr,
+                       f"free_aff of {vaddr:#x}, which was never allocated",
+                       "free only addresses returned by malloc_aff/malloc")
 
     def _free_affine(self, rec: _AffineRecord) -> None:
         layout, handle = rec.layout, rec.handle
@@ -371,7 +473,7 @@ class AffinityAllocator:
         """
         pool = self.pools.pool_containing(vaddr)
         if pool is None:
-            raise ValueError(f"{vaddr:#x} is not an irregular allocation")
+            raise UnknownAddressError(f"{vaddr:#x} is not an irregular allocation")
         size = pool.intrlv
         self.free_aff(vaddr)
         new = self.malloc_irregular(size, aff_addrs)

@@ -225,9 +225,26 @@ def _run_name(ids: Sequence[str], scale: float, seed: int) -> str:
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
+def _preflight_lint(scale: float, notify: Callable[[str], None]) -> None:
+    """afflint the workloads' declared layouts before any run starts.
+
+    Cheap (pure plan analysis, no execution): catches layout mistakes —
+    conflicting alignments, missing pools, predicted exhaustion — before
+    a process pool spends minutes tracing them.
+    """
+    from repro.analysis.diagnostics import LintFailure
+    from repro.analysis.lint import lint_workload_plans
+
+    result, _per_workload = lint_workload_plans(scale=scale)
+    notify(f"[preflight] afflint: {result.report.summary()}")
+    if result.report.has_errors:
+        raise LintFailure(result.report)
+
+
 def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 seed: int = 0, use_cache: bool = True,
                 results_dir: Optional[os.PathLike] = None,
+                preflight: bool = True,
                 progress: Optional[Callable[[str], None]] = None) -> RunReport:
     """Run experiments by id, optionally fanned across a process pool.
 
@@ -242,6 +259,9 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             covers ids/scale/seed/version — never jobs — so reruns of the
             same configuration overwrite the same file with the same
             bytes).
+        preflight: afflint every workload's layout plan before fanning
+            out; errors abort the run with
+            :class:`repro.analysis.diagnostics.LintFailure`.
         progress: callback for human-readable per-figure progress lines.
 
     Returns:
@@ -253,6 +273,8 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
         raise KeyError(f"unknown experiment ids {unknown}; "
                        f"available: {sorted(EXPERIMENTS)}")
     notify = progress or (lambda line: None)
+    if preflight:
+        _preflight_lint(scale, notify)
     jobs = max(1, int(jobs))
     cache_dir = str(get_cache().root)
     t_start = time.perf_counter()

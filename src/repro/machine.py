@@ -139,6 +139,11 @@ class Machine:
                                 _RANDOM_HEAP_PBASE + frame_idx * page)
             self._heap_mapped_pages += 1
 
+    def heap_contains(self, vaddr: int) -> bool:
+        """True if ``vaddr`` falls inside the heap's *allocated* extent."""
+        return (VirtualLayout.HEAP_VBASE <= vaddr
+                < VirtualLayout.HEAP_VBASE + self._heap_brk)
+
     def _register_heap_footprint(self, vaddr: int, size: int) -> None:
         if size <= 0:
             return

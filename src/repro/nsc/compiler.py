@@ -217,12 +217,18 @@ class ExecutionPlan:
 
 @dataclass
 class CompiledKernel:
-    """Compiler output: the dependence graph plus the execution plan."""
+    """Compiler output: the dependence graph plus the execution plan.
+
+    ``builder`` keeps the front-end description around so static passes
+    (the afflint hazard detector and coverage estimator) can reason about
+    index expressions without re-deriving them from the plan closures.
+    """
 
     name: str
     graph: StreamGraph
     decision: OffloadDecision
     plan: ExecutionPlan
+    builder: Optional[KernelBuilder] = None
 
     def run(self, executor: StreamExecutor, iterations: np.ndarray,
             cores: np.ndarray) -> None:
@@ -329,4 +335,4 @@ def compile_kernel(kernel: KernelBuilder,
     _gen_elementwise(kernel, plan)
     _gen_indirect(kernel, plan)
     _gen_chases(kernel, plan)
-    return CompiledKernel(kernel.name, graph, decision, plan)
+    return CompiledKernel(kernel.name, graph, decision, plan, builder=kernel)

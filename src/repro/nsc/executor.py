@@ -235,6 +235,8 @@ class StreamExecutor:
             if out_bl is not None:
                 cb = np.concatenate([consumer_banks] * len(bls))
                 need = banks != cb
+                self.rec.add_stream_locality(banks.size * repeat,
+                                             float(need.sum()) * repeat)
                 if need.any():
                     src_b, dst_b, counts = self._group_pairs(
                         lines[need], banks[need], cb[need])
@@ -242,11 +244,15 @@ class StreamExecutor:
                         src_b, dst_b,
                         np.minimum(counts * h.elem_size, self.line),
                         MessageClass.DATA, count=repeat)
+            else:
+                # pure read: the stream computes at its own banks
+                self.rec.add_stream_locality(banks.size * repeat, 0.0)
             self._migrations(bls[0][0], bls[0][1], cores, repeat)
         if out_bl is not None:
             obanks, olines = out_bl
             new = _consecutive_dedup(olines, cores)
             self.rec.add_bank_accesses(obanks[new], repeat)
+            self.rec.add_stream_locality(obanks.size * repeat, 0.0)
             self._migrations(obanks, olines, cores, repeat)
             self._offload_config(*self._config_pairs(cores, obanks), repeat=repeat)
             self.rec.add_near_ops(obanks, ops_per_elem * repeat)
@@ -290,6 +296,8 @@ class StreamExecutor:
             return
         # Offloaded: request out, value back to the requesting bank.
         remote = b_banks != t_banks
+        self.rec.add_stream_locality(b_banks.size * repeat,
+                                     float(remote.sum()) * repeat)
         self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
                                 MessageClass.CONTROL, count=repeat)
         self.rec.traffic.record(t_banks[remote], b_banks[remote], value_bytes,
@@ -320,6 +328,8 @@ class StreamExecutor:
             self.rec.add_private_accesses(cores.size * repeat)
             return
         remote = b_banks != t_banks
+        self.rec.add_stream_locality(b_banks.size * repeat,
+                                     float(remote.sum()) * repeat)
         self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
                                 MessageClass.CONTROL, count=repeat)
         self.rec.add_bank_atomics(t_banks, repeat)
@@ -384,6 +394,8 @@ class StreamExecutor:
         self._offload_config(cores[first], banks[first], repeat)
         same_chain = chain_ids[1:] == chain_ids[:-1]
         moved = (banks[1:] != banks[:-1]) & same_chain
+        self.rec.add_stream_locality(banks.size * repeat,
+                                     float(moved.sum()) * repeat)
         self.rec.traffic.record(banks[:-1][moved], banks[1:][moved],
                                 _MIGRATE_BYTES, MessageClass.OFFLOAD,
                                 count=repeat)
@@ -435,6 +447,9 @@ class StreamExecutor:
             self.rec.add_private_accesses(2 * cores.size)
             return
         rt = src_banks != tail_banks
+        rs_count = float((src_banks != slot_banks).sum())
+        self.rec.add_stream_locality(2.0 * src_banks.size,
+                                     float(rt.sum()) + rs_count)
         self.rec.traffic.record(src_banks[rt], tail_banks[rt], _IND_REQ_BYTES,
                                 MessageClass.CONTROL)
         self.rec.add_bank_atomics(tail_banks)

@@ -158,6 +158,8 @@ class PerfModel:
                 "dram_accesses": dram_accesses,
                 "messages": recorder.traffic.message_count(),
                 "total_flits": recorder.traffic.total_flits(),
+                "stream_elem_accesses": recorder.stream_elem_accesses,
+                "stream_remote_accesses": recorder.stream_remote_accesses,
             },
             phases=list(recorder.phases),
             value=value,

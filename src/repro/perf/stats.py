@@ -56,6 +56,11 @@ class RunRecorder:
         self.core_ops = np.zeros(nc, dtype=np.float64)
         self.core_serial_cycles = np.zeros(nc, dtype=np.float64)
         self.private_line_accesses = 0.0
+        # Offloaded-stream locality (measured ground truth for the afflint
+        # coverage estimator).  Deliberately kept out of phase snapshots:
+        # they inform no timing/energy result, only the locality report.
+        self.stream_elem_accesses = 0.0
+        self.stream_remote_accesses = 0.0
         self.phases: List[PhaseStats] = []
         self._mark = self._snapshot()
 
@@ -89,6 +94,18 @@ class RunRecorder:
 
     def add_private_accesses(self, count: float) -> None:
         self.private_line_accesses += float(count)
+
+    def add_stream_locality(self, total: float, remote: float) -> None:
+        """Offloaded stream element accesses, split local vs remote."""
+        self.stream_elem_accesses += float(total)
+        self.stream_remote_accesses += float(remote)
+
+    @property
+    def stream_local_fraction(self) -> Optional[float]:
+        """Measured fraction of offloaded accesses that stayed bank-local."""
+        if self.stream_elem_accesses <= 0:
+            return None
+        return 1.0 - self.stream_remote_accesses / self.stream_elem_accesses
 
     @staticmethod
     def _accumulate(target: np.ndarray, idx, count) -> None:

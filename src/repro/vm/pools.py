@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.diagnostics import PoolExhaustedError
 from repro.arch.address import AddressRange, align_up, is_power_of_two
 from repro.arch.iot import InterleaveOverrideTable, IotEntry
 from repro.vm.layout import AddressSpace, LinearRegion, VirtualLayout
@@ -88,7 +89,8 @@ class InterleavePool:
         nbytes = align_up(nbytes, self.page_size)
         new_end = self._backed + nbytes
         if self.vbase + new_end > self.vrange.end:
-            raise MemoryError(f"interleave pool {self.intrlv}B exhausted its reservation")
+            raise PoolExhaustedError(
+                f"interleave pool {self.intrlv}B exhausted its reservation")
         rng = AddressRange(self.vbase + self._backed, self.vbase + new_end)
         self._backed = new_end
         self.expansions += 1

@@ -41,6 +41,15 @@ class Pathfinder(Workload):
     def default_params(self) -> Dict:
         return {"cols": 1_500_000, "iters": 8}
 
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        from repro.analysis.plan import LayoutPlan
+        n = self.params(scale, **overrides)["cols"]
+        plan = LayoutPlan(self.name)
+        plan.array("wall", 4, n)
+        plan.array("prev", 4, n, align_to="wall")
+        plan.array("next", 4, n, align_to="wall")
+        return plan
+
     def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
             policy=None, scale: float = 1.0, seed: int = 0,
             **overrides) -> RunResult:
@@ -75,11 +84,22 @@ class _Stencil2D(Workload):
     rows: int = 0
     cols: int = 0
     iters: int = 8
+    GRID_NAMES: List[str] = []
 
     def default_params(self) -> Dict:
         return {"rows": self.rows, "cols": self.cols, "iters": self.iters}
 
     SCALED_PARAMS = ("rows",)
+
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        from repro.analysis.plan import LayoutPlan
+        p = self.params(scale, **overrides)
+        n = p["rows"] * p["cols"]
+        plan = LayoutPlan(self.name)
+        plan.array(self.GRID_NAMES[0], 4, n, align_x=p["cols"])
+        for nm in self.GRID_NAMES[1:]:
+            plan.array(nm, 4, n, align_to=self.GRID_NAMES[0])
+        return plan
 
     def _alloc_grids(self, ctx: RunContext, rows: int, cols: int,
                      names: List[str]) -> List[ArrayHandle]:
@@ -124,6 +144,7 @@ class Hotspot(_Stencil2D):
     name = "hotspot"
     layout_kind = "Affine"
     rows, cols = 2048, 1024
+    GRID_NAMES = ["temp", "power", "temp_out"]
 
     def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
             policy=None, scale: float = 1.0, seed: int = 0,
@@ -151,6 +172,7 @@ class Srad(_Stencil2D):
     name = "srad"
     layout_kind = "Affine"
     rows, cols = 1024, 2048
+    GRID_NAMES = ["img", "coeff"]
 
     def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
             policy=None, scale: float = 1.0, seed: int = 0,
@@ -185,6 +207,16 @@ class Hotspot3D(Workload):
 
     def default_params(self) -> Dict:
         return {"nx": 256, "ny": 1024, "nz": 8, "iters": 8}
+
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        from repro.analysis.plan import LayoutPlan
+        p = self.params(scale, **overrides)
+        n = p["nx"] * p["ny"] * p["nz"]
+        plan = LayoutPlan(self.name)
+        plan.array("tIn", 4, n, align_x=p["nx"] * p["ny"])
+        plan.array("power", 4, n, align_to="tIn")
+        plan.array("tOut", 4, n, align_to="tIn")
+        return plan
 
     def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
             policy=None, scale: float = 1.0, seed: int = 0,

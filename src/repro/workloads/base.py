@@ -120,6 +120,16 @@ class Workload(abc.ABC):
 
     SCALED_PARAMS: tuple = ()
 
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        """Static layout declaration for the afflint pre-flight.
+
+        Returns a :class:`repro.analysis.plan.LayoutPlan` describing every
+        affine allocation the workload will make (sizes resolved at the
+        given scale), or ``None`` for workloads whose layout is data-driven
+        (linked structures) and cannot be declared statically.
+        """
+        return None
+
 
 WORKLOADS: Dict[str, Workload] = {}
 

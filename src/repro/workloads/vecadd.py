@@ -51,6 +51,15 @@ class VecAdd(Workload):
     def default_params(self) -> Dict:
         return {"n": 1 << 20, "iters": 1}
 
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        from repro.analysis.plan import LayoutPlan
+        n = self.params(scale, **overrides)["n"]
+        plan = LayoutPlan(self.name)
+        plan.array("A", 4, n)
+        plan.array("B", 4, n, align_to="A")
+        plan.array("C", 4, n, align_to="A")
+        return plan
+
     def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
             policy=None, scale: float = 1.0, seed: int = 0,
             **overrides) -> RunResult:

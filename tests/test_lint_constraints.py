@@ -1,0 +1,124 @@
+"""afflint constraint pass: AFF0xx diagnostics and solver fidelity."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.constraints import lint_allocator, lint_plan
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import lint_fixture_file
+from repro.analysis.plan import LayoutPlan
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+FIXTURES = Path(__file__).resolve().parent.parent / "examples" / "lint_fixtures"
+
+
+def codes(report):
+    return report.codes()
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("fixture,expect", [
+        ("unsatisfiable_alignment.py", "AFF001"),
+        ("partition_conflict.py", "AFF003"),
+        ("missing_pool.py", "AFF004"),
+        ("padding_waste.py", "AFF005"),
+        ("pool_exhaustion.py", "AFF006"),
+    ])
+    def test_fixture_triggers_code(self, fixture, expect):
+        result = lint_fixture_file(FIXTURES / fixture)
+        assert expect in codes(result.report)
+
+    def test_unsatisfiable_reports_both_arrays(self):
+        result = lint_fixture_file(FIXTURES / "unsatisfiable_alignment.py")
+        names = {d.site.name for d in result.report.by_code("AFF001")}
+        assert names == {"bad_offset", "bad_ratio"}
+
+    def test_padding_waste_is_warning_not_error(self):
+        result = lint_fixture_file(FIXTURES / "padding_waste.py")
+        (diag,) = result.report.by_code("AFF005")
+        assert diag.severity is Severity.WARNING
+        assert not result.report.has_errors
+
+
+class TestLintPlan:
+    def test_clean_plan_has_no_findings(self):
+        plan = LayoutPlan("clean")
+        plan.array("A", 4, 4096)
+        plan.array("B", 4, 4096, align_to="A")
+        report, layouts = lint_plan(plan)
+        assert not report.has_findings
+        assert layouts["B"].start_bank == layouts["A"].start_bank
+
+    def test_forward_reference_is_aff002(self):
+        plan = LayoutPlan("fwd")
+        plan.array("B", 4, 4096, align_to="A")
+        plan.array("A", 4, 4096)
+        report, _ = lint_plan(plan)
+        assert "AFF002" in codes(report)
+        assert "forward" in report.by_code("AFF002")[0].message
+
+    def test_unknown_target_is_aff002(self):
+        plan = LayoutPlan("unknown")
+        plan.array("B", 4, 4096, align_to="ghost")
+        report, _ = lint_plan(plan)
+        assert "AFF002" in codes(report)
+
+    def test_chain_through_fallback_propagates(self):
+        """An array aligned to a fallback array is itself diagnosed."""
+        plan = LayoutPlan("chain")
+        plan.array("A", 4, 4096)
+        plan.array("B", 4, 4096, align_to="A", align_x=1)  # fallback
+        plan.array("C", 4, 4096, align_to="B")             # no-target
+        report, layouts = lint_plan(plan)
+        assert "AFF001" in codes(report)
+        assert "AFF002" in codes(report)
+
+    def test_predicted_layouts_match_allocator(self):
+        """lint_plan's predictions are exactly what the runtime chooses."""
+        plan = LayoutPlan("xcheck")
+        plan.array("A", 4, 8192)
+        plan.array("B", 8, 8192, align_to="A")
+        plan.array("G", 4, 8192, align_x=128)
+        plan.array("P", 4, 8192, partition=True)
+        machine = Machine()
+        report, predicted = lint_plan(plan, machine)
+        assert not report.has_findings
+
+        alloc = AffinityAllocator(Machine())
+        handles = {}
+        handles["A"] = alloc.malloc_affine(AffineArray(4, 8192), name="A")
+        handles["B"] = alloc.malloc_affine(
+            AffineArray(8, 8192, align_to=handles["A"]), name="B")
+        handles["G"] = alloc.malloc_affine(
+            AffineArray(4, 8192, align_x=128), name="G")
+        handles["P"] = alloc.malloc_affine(
+            AffineArray(4, 8192, partition=True), name="P")
+        for name, h in handles.items():
+            assert h.layout is not None, name
+            assert predicted[name].kind is h.layout.kind, name
+            assert predicted[name].intrlv == h.layout.intrlv, name
+            assert predicted[name].start_bank == h.layout.start_bank, name
+            assert predicted[name].stride == h.layout.stride, name
+            assert predicted[name].code == h.layout.code, name
+
+
+class TestLintAllocator:
+    def test_runtime_fallback_reported(self):
+        alloc = AffinityAllocator(Machine())
+        a = alloc.malloc_affine(AffineArray(4, 4096), name="A")
+        alloc.malloc_affine(AffineArray(4, 4096, align_to=a, align_x=1),
+                            name="B")
+        report = lint_allocator(alloc)
+        assert "AFF001" in codes(report)
+        (diag,) = report.by_code("AFF001")
+        assert diag.site.name == "B"
+        assert diag.severity is Severity.WARNING
+
+    def test_clean_allocator_is_clean(self):
+        alloc = AffinityAllocator(Machine())
+        a = alloc.malloc_affine(AffineArray(4, 4096), name="A")
+        alloc.malloc_affine(AffineArray(4, 4096, align_to=a), name="B")
+        assert not lint_allocator(alloc).has_findings

@@ -1,0 +1,151 @@
+"""afflint stream-graph hazard pass (RACE0xx)."""
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.hazards import check_graph, check_kernel
+from repro.nsc.compiler import KernelBuilder, _build_graph, compile_kernel
+from repro.nsc.engine import EngineMode
+from repro.workloads.base import make_context
+
+
+def graph_of(build):
+    ctx = make_context(EngineMode.AFF_ALLOC)
+    k = build(ctx)
+    return _build_graph(k), k
+
+
+class TestAtomicStoreMix:
+    def test_unordered_mix_is_error(self):
+        def build(ctx):
+            n = 1024
+            idx = ctx.alloc(4, n, "idx")
+            data = ctx.alloc(4, n, "data")
+            k = KernelBuilder("k", n)
+            k.load("s_idx", idx)
+            k.atomic("s_upd", data, address_from="s_idx",
+                     target_indices=lambda t: t % n)
+            k.store("s_init", data)
+            return k
+        g, _ = graph_of(build)
+        (d,) = check_graph(g, "k").by_code("RACE001")
+        assert d.severity is Severity.ERROR
+
+    def test_ordered_mix_downgrades_to_warning(self):
+        def build(ctx):
+            n = 1024
+            idx = ctx.alloc(4, n, "idx")
+            data = ctx.alloc(4, n, "data")
+            k = KernelBuilder("k", n)
+            k.load("s_idx", idx)
+            k.atomic("s_upd", data, address_from="s_idx",
+                     target_indices=lambda t: t % n)
+            k.store("s_init", data, inputs=["s_upd"])
+            return k
+        g, _ = graph_of(build)
+        (d,) = check_graph(g, "k").by_code("RACE001")
+        assert d.severity is Severity.WARNING
+
+    def test_pure_atomic_pair_is_clean(self):
+        """Atomics commute — two atomic streams on one array are fine."""
+        def build(ctx):
+            n = 1024
+            idx = ctx.alloc(4, n, "idx")
+            data = ctx.alloc(4, n, "data")
+            k = KernelBuilder("k", n)
+            k.load("s_idx", idx)
+            k.atomic("s_u1", data, address_from="s_idx",
+                     target_indices=lambda t: t % n)
+            k.atomic("s_u2", data, address_from="s_idx",
+                     target_indices=lambda t: (t + 1) % n)
+            return k
+        g, _ = graph_of(build)
+        assert not check_graph(g, "k").has_findings
+
+
+class TestReadWrite:
+    def test_raw_without_edge_is_error(self):
+        def build(ctx):
+            n = 1024
+            a = ctx.alloc(4, n, "A")
+            k = KernelBuilder("k", n)
+            k.load("s_read", a)
+            k.store("s_write", a)
+            return k
+        g, _ = graph_of(build)
+        (d,) = check_graph(g, "k").by_code("RACE002")
+        assert d.severity is Severity.ERROR
+        assert "s_read" in d.message and "s_write" in d.message
+
+    def test_raw_with_edge_is_clean(self):
+        def build(ctx):
+            n = 1024
+            a = ctx.alloc(4, n, "A")
+            k = KernelBuilder("k", n)
+            k.load("s_read", a)
+            k.store("s_write", a, inputs=["s_read"])
+            return k
+        g, _ = graph_of(build)
+        assert not check_graph(g, "k").has_findings
+
+    def test_transitive_ordering_suffices(self):
+        """A path through an intermediate stream counts as an edge."""
+        def build(ctx):
+            n = 1024
+            a = ctx.alloc(4, n, "A")
+            b = ctx.alloc(4, n, "B")
+            k = KernelBuilder("k", n)
+            k.load("s_read", a)
+            k.store("s_mid", b, inputs=["s_read"])
+            k.store("s_write", a, inputs=["s_mid"])
+            return k
+        g, _ = graph_of(build)
+        assert not check_graph(g, "k").by_code("RACE002")
+
+    def test_disjoint_arrays_are_clean(self):
+        def build(ctx):
+            n = 1024
+            a = ctx.alloc(4, n, "A")
+            b = ctx.alloc(4, n, "B")
+            k = KernelBuilder("k", n)
+            k.load("s_a", a)
+            k.store("s_b", b)
+            return k
+        g, _ = graph_of(build)
+        assert not check_graph(g, "k").has_findings
+
+
+class TestWriteWrite:
+    def test_unordered_stores_warn(self):
+        def build(ctx):
+            n = 1024
+            b = ctx.alloc(4, n, "B")
+            k = KernelBuilder("k", n)
+            k.store("s_w1", b)
+            k.store("s_w2", b, offset=1)
+            return k
+        g, _ = graph_of(build)
+        (d,) = check_graph(g, "k").by_code("RACE003")
+        assert d.severity is Severity.WARNING
+
+
+class TestCompiledKernels:
+    def test_check_kernel_wraps_compiled(self):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        n = 1024
+        a = ctx.alloc(4, n, "A")
+        k = KernelBuilder("k", n)
+        k.load("s_read", a)
+        k.store("s_write", a)
+        ck = compile_kernel(k)
+        assert "RACE002" in check_kernel(ck).codes()
+
+    def test_clean_vecadd_kernel(self):
+        ctx = make_context(EngineMode.AFF_ALLOC)
+        n = 1024
+        a = ctx.alloc(4, n, "A")
+        b = ctx.alloc(4, n, "B", align_to=a)
+        c = ctx.alloc(4, n, "C", align_to=a)
+        k = KernelBuilder("vecadd", n)
+        k.load("sa", a)
+        k.load("sb", b)
+        k.store("sc", c, inputs=["sa", "sb"])
+        assert not check_kernel(compile_kernel(k)).has_findings

@@ -1,0 +1,124 @@
+"""afflint lifetime pass (LIF0xx) and the allocator's free_aff guards."""
+
+import pytest
+
+from repro.analysis.diagnostics import (DoubleFreeError, Severity,
+                                        UnknownAddressError)
+from repro.analysis.lifetime import AllocEvent, check_lifetime
+from repro.analysis.lint import LintSession
+from repro.core.api import AffineArray
+from repro.core.runtime import AffinityAllocator
+from repro.machine import Machine
+
+
+def ev(op, vaddr, size=0, label=""):
+    return AllocEvent(op, vaddr, size, label)
+
+
+class TestCheckLifetime:
+    def test_balanced_trace_is_clean(self):
+        trace = [ev("alloc", 0x1000, 64, "a"), ev("use", 0x1000),
+                 ev("free", 0x1000)]
+        assert not check_lifetime(trace).has_findings
+
+    def test_double_free_is_lif001_error(self):
+        trace = [ev("alloc", 0x1000, 64), ev("free", 0x1000),
+                 ev("free", 0x1000)]
+        report = check_lifetime(trace)
+        (d,) = report.by_code("LIF001")
+        assert d.severity is Severity.ERROR
+
+    def test_leak_is_lif002_warning(self):
+        report = check_lifetime([ev("alloc", 0x1000, 64, "leaky")])
+        (d,) = report.by_code("LIF002")
+        assert d.severity is Severity.WARNING
+        assert d.site.name == "leaky"
+
+    def test_leaks_suppressed_when_exit_dirty_ok(self):
+        report = check_lifetime([ev("alloc", 0x1000, 64)],
+                                expect_clean_exit=False)
+        assert not report.has_findings
+
+    def test_use_after_free_is_lif003_error(self):
+        trace = [ev("alloc", 0x1000, 64), ev("free", 0x1000),
+                 ev("use", 0x1000)]
+        (d,) = check_lifetime(trace).by_code("LIF003")
+        assert d.severity is Severity.ERROR
+
+    def test_realloc_after_free_is_clean(self):
+        trace = [ev("alloc", 0x1000, 64), ev("free", 0x1000),
+                 ev("alloc", 0x1000, 64), ev("use", 0x1000),
+                 ev("free", 0x1000)]
+        assert not check_lifetime(trace).has_findings
+
+    def test_unknown_free_is_lif004(self):
+        (d,) = check_lifetime([ev("free", 0xdead)]).by_code("LIF004")
+        assert d.severity is Severity.WARNING
+
+    def test_leak_reports_are_capped(self):
+        trace = [ev("alloc", 0x1000 + 64 * i, 64) for i in range(25)]
+        report = check_lifetime(trace)
+        warnings = [d for d in report.by_code("LIF002")
+                    if d.severity is Severity.WARNING]
+        assert len(warnings) == 10
+        assert any("suppressed" in d.message for d in report)
+
+    def test_bogus_op_rejected(self):
+        with pytest.raises(ValueError):
+            check_lifetime([ev("mangle", 0x1000)])
+
+
+class TestAllocatorGuards:
+    def test_double_free_counted_and_warned(self):
+        alloc = AffinityAllocator(Machine())
+        a = alloc.malloc_affine(AffineArray(4, 1024), name="A")
+        alloc.free_aff(a)
+        alloc.free_aff(a.vaddr)
+        assert alloc.stats.double_frees == 1
+        assert alloc.stats.frees == 1
+        assert any(d.code == "LIF001" for d in alloc.diagnostics)
+
+    def test_double_free_raises_in_strict_mode(self):
+        alloc = AffinityAllocator(Machine(), strict=True)
+        a = alloc.malloc_affine(AffineArray(4, 1024), name="A")
+        alloc.free_aff(a)
+        with pytest.raises(DoubleFreeError):
+            alloc.free_aff(a.vaddr)
+
+    def test_unknown_free_counted_and_warned(self):
+        alloc = AffinityAllocator(Machine())
+        alloc.free_aff(0x1234)
+        assert alloc.stats.unknown_frees == 1
+        assert any(d.code == "LIF004" for d in alloc.diagnostics)
+
+    def test_unknown_free_raises_in_strict_mode(self):
+        alloc = AffinityAllocator(Machine(), strict=True)
+        with pytest.raises(UnknownAddressError):
+            alloc.free_aff(0x1234)
+
+    def test_irregular_double_free_detected(self):
+        alloc = AffinityAllocator(Machine())
+        v = alloc.malloc_irregular(64)
+        alloc.free_aff(v)
+        alloc.free_aff(v)
+        assert alloc.stats.double_frees == 1
+
+    def test_heap_free_still_passes_through(self):
+        machine = Machine()
+        alloc = AffinityAllocator(machine)
+        v = machine.malloc(4096)
+        alloc.free_aff(v)
+        assert alloc.stats.heap_frees == 1
+        assert alloc.stats.double_frees == 0
+
+
+class TestSessionTrace:
+    def test_session_replay_matches_guards(self):
+        session = LintSession()
+        a = session.allocator.malloc_affine(AffineArray(4, 1024), name="A")
+        session.use(a)
+        session.allocator.free_aff(a)
+        session.allocator.free_aff(a.vaddr)
+        report = check_lifetime(session.allocator.events)
+        assert "LIF001" in report.codes()
+        assert "LIF002" not in report.codes()

@@ -52,10 +52,12 @@ class TestSerialRun:
         lines = []
         runner.run_figures(FAST_IDS, jobs=1, scale=TINY,
                            progress=lines.append)
-        assert len(lines) == len(FAST_IDS)
-        assert lines[0].startswith("[1/3]")
+        assert lines[0].startswith("[preflight] afflint")
+        fig_lines = lines[1:]
+        assert len(fig_lines) == len(FAST_IDS)
+        assert fig_lines[0].startswith("[1/3]")
         assert all("in " in ln and ln.rstrip().endswith("s")
-                   for ln in lines)
+                   for ln in fig_lines)
 
     def test_figure_cache_hit_is_exact(self, fresh_cache):
         cold = runner.run_figures(FAST_IDS, jobs=1, scale=TINY)
