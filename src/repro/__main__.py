@@ -11,6 +11,8 @@ Usage::
     python -m repro run pr_push --mode Aff-Alloc --scale 0.1
     python -m repro lint                   # afflint the workload layouts
     python -m repro lint examples/lint_fixtures --expect-findings
+    python -m repro bench                  # tracked perf benchmarks
+    python -m repro bench --smoke --compare --baseline benchmarks/smoke
 
 Results of ``all`` (and any multi-experiment invocation) are also written
 as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
@@ -40,6 +42,9 @@ def main(argv=None) -> int:
         # afflint has its own argument surface; delegate wholesale.
         from repro.analysis.lint import cli as lint_cli
         return lint_cli(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import cli as bench_cli
+        return bench_cli(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

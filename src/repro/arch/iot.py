@@ -55,12 +55,20 @@ class InterleaveOverrideTable:
         if num_banks <= 0:
             raise ValueError("num_banks must be positive")
         self.num_banks = num_banks
+        # Power-of-two bank counts (every paper config) take the mod as a
+        # bit mask; `&` equals `%` bit for bit on int64 for a positive
+        # power-of-two modulus, and skips the integer-division microcode.
+        self._bank_mask = num_banks - 1 if is_power_of_two(num_banks) else None
         self.capacity = capacity
         self._entries: List[IotEntry] = []
         # Parallel numpy views for vectorized lookup, rebuilt on mutation.
+        # Sorted by start address (entries never overlap, so start order is
+        # total): one searchsorted per lookup batch replaces the old
+        # per-entry mask sweep.
         self._starts = np.empty(0, dtype=np.int64)
         self._ends = np.empty(0, dtype=np.int64)
         self._shifts = np.empty(0, dtype=np.int64)
+        self._sorted_entries: List[IotEntry] = []
 
     # ------------------------------------------------------------------
     @property
@@ -92,18 +100,20 @@ class InterleaveOverrideTable:
         raise KeyError(f"no IOT entry starting at {start:#x}")
 
     def _rebuild(self) -> None:
-        self._starts = np.array([e.start for e in self._entries], dtype=np.int64)
-        self._ends = np.array([e.end for e in self._entries], dtype=np.int64)
+        self._sorted_entries = sorted(self._entries, key=lambda e: e.start)
+        self._starts = np.array([e.start for e in self._sorted_entries], dtype=np.int64)
+        self._ends = np.array([e.end for e in self._sorted_entries], dtype=np.int64)
         self._shifts = np.array(
-            [int(e.intrlv).bit_length() - 1 for e in self._entries], dtype=np.int64
+            [int(e.intrlv).bit_length() - 1 for e in self._sorted_entries],
+            dtype=np.int64
         )
 
     # ------------------------------------------------------------------
     def lookup(self, addr: int) -> Optional[IotEntry]:
         """Return the entry covering ``addr``, if any."""
-        for e in self._entries:
-            if e.covers(addr):
-                return e
+        i = int(np.searchsorted(self._starts, addr, side="right")) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return self._sorted_entries[i]
         return None
 
     def banks(self, addrs: np.ndarray, default_shift: int) -> np.ndarray:
@@ -112,13 +122,49 @@ class InterleaveOverrideTable:
         Addresses outside every override region use the default static-NUCA
         interleave ``1 << default_shift`` starting at physical 0 — the
         baseline Table 2 mapping.
+
+        One ``searchsorted`` over the sorted range table finds every
+        address's candidate entry; ranges never overlap, so "start is the
+        nearest at-or-below AND addr < end" is exact membership.
         """
         addrs = np.asarray(addrs, dtype=np.int64)
-        banks = (addrs >> default_shift) % self.num_banks
-        for start, end, shift in zip(self._starts, self._ends, self._shifts):
-            mask = (addrs >= start) & (addrs < end)
-            if mask.any():
-                banks[mask] = ((addrs[mask] - start) >> shift) % self.num_banks
+        mask = self._bank_mask
+        if self._starts.size and addrs.size:
+            # Fast path: a batch wholly inside one entry (the usual case —
+            # a trace walks one pool-backed array) skips the default-hash
+            # pass and the membership masking below.
+            lo = int(addrs.min())
+            i = int(np.searchsorted(self._starts, lo, side="right")) - 1
+            if i >= 0 and int(addrs.max()) < self._ends[i]:
+                override = (addrs - self._starts[i]) >> self._shifts[i]
+                return (override & mask if mask is not None
+                        else override % self.num_banks)
+        if mask is not None:
+            banks = (addrs >> default_shift) & mask
+        else:
+            banks = (addrs >> default_shift) % self.num_banks
+        if 0 < self._starts.size <= 8:
+            # Few entries (every paper config: 7 pools): E linear range
+            # masks beat one binary search per address — measured ~1.4x
+            # on mixed 500k batches.  Ranges are disjoint, so per-entry
+            # scatter order can't matter.
+            for start, end, shift in zip(self._starts, self._ends,
+                                         self._shifts):
+                m = (addrs >= start) & (addrs < end)
+                if m.any():
+                    override = (addrs[m] - start) >> shift
+                    banks[m] = (override & mask if mask is not None
+                                else override % self.num_banks)
+        elif self._starts.size:
+            idx = np.searchsorted(self._starts, addrs, side="right") - 1
+            cand = np.maximum(idx, 0)
+            inside = (idx >= 0) & (addrs < self._ends[cand])
+            if inside.any():
+                a = addrs[inside]
+                c = cand[inside]
+                override = (a - self._starts[c]) >> self._shifts[c]
+                banks[inside] = (override & mask if mask is not None
+                                 else override % self.num_banks)
         return banks
 
     def __len__(self) -> int:

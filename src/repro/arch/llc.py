@@ -72,6 +72,39 @@ class LlcModel:
         banks = self.banks_of(line_addrs)
         self._footprint_bytes += np.bincount(banks, minlength=self.num_banks) * float(line)
 
+    def register_spans(self, paddrs: np.ndarray, sizes: np.ndarray) -> None:
+        """Batched :meth:`register_range` for many physical spans at once.
+
+        Expands every span to its line addresses, maps all of them in one
+        IOT lookup, and folds the whole batch into the footprint with a
+        single ``bincount``.  Line counts are exact integers, so the one
+        combined float add equals the per-span adds bit for bit.
+        """
+        paddrs = np.asarray(paddrs, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        keep = sizes > 0
+        if not keep.all():
+            paddrs, sizes = paddrs[keep], sizes[keep]
+        if paddrs.size == 0:
+            return
+        line = self.cache.line_bytes
+        if line & (line - 1) == 0:
+            # Power-of-two lines: mask and shift equal mod and floor
+            # division bit for bit on int64.
+            starts = paddrs - (paddrs & (line - 1))
+            nlines = (paddrs + sizes - starts + line - 1) >> (line.bit_length() - 1)
+        else:
+            starts = paddrs - (paddrs % line)
+            nlines = (paddrs + sizes - starts + line - 1) // line
+        # Per-span aranges, flattened: offset within span i is
+        # (global position) - (start position of span i).
+        span_base = np.cumsum(nlines) - nlines
+        within = np.arange(int(nlines.sum()), dtype=np.int64) \
+            - np.repeat(span_base, nlines)
+        line_addrs = np.repeat(starts, nlines) + within * line
+        banks = self.banks_of(line_addrs)
+        self._footprint_bytes += np.bincount(banks, minlength=self.num_banks) * float(line)
+
     def register_by_banks(self, banks: np.ndarray, bytes_each: float,
                           counts=1.0) -> None:
         """Batch footprint registration for objects wholly within one bank

@@ -10,11 +10,49 @@ executor feeds millions of (src, dst) pairs through them.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-__all__ = ["Mesh"]
+__all__ = ["Mesh", "RoutingIncidence"]
+
+
+@dataclass(frozen=True)
+class RoutingIncidence:
+    """Sparse pair->channel incidence of one mesh geometry (CSR-style).
+
+    X-Y routing is deterministic, so the set of directed links a
+    (src, dst) pair traverses is a pure function of the geometry.  This
+    structure precomputes it for *all* ``num_tiles**2`` pairs once, so
+    expanding per-pair flit counts onto channels becomes a single
+    weighted scatter-add (see :func:`repro.arch.noc.pair_channel_loads`)
+    instead of a per-pair Python loop.
+
+    Arrays (all int64, pair ids ascending = ``src * n + dst``):
+
+    * ``link_ids`` — concatenated route links of every pair, pair-major;
+      ``route_counts`` plays the role of CSR row lengths (diagonal pairs
+      contribute zero entries).
+    * ``route_counts`` — hops per pair (length ``n**2``); doubles as the
+      repeat count that expands a pair-weight vector onto ``link_ids``.
+    * ``pair_src`` / ``pair_dst`` — src and dst tile per pair id, for
+      injection/ejection port accounting.
+    * ``diagonal`` — pair ids with ``src == dst`` (no NoC traversal).
+    """
+
+    link_ids: np.ndarray
+    route_counts: np.ndarray
+    pair_src: np.ndarray
+    pair_dst: np.ndarray
+    diagonal: np.ndarray
+
+
+#: Process-wide incidence memo, keyed by (width, height).  Meshes are
+#: immutable value objects, so every Mesh/TrafficAccountant of the same
+#: geometry (including the per-phase loads of every run in a sweep)
+#: shares one structure.
+_INCIDENCE_CACHE: Dict[Tuple[int, int], RoutingIncidence] = {}
 
 
 class Mesh:
@@ -113,31 +151,65 @@ class Mesh:
             y += step
         return links
 
+    def routing_incidence(self) -> RoutingIncidence:
+        """The pair->channel incidence for this geometry (memoized).
+
+        Built once per (width, height) by walking :meth:`route_links` for
+        every ordered pair, then shared process-wide; consumers expand
+        pair-weight vectors onto channels with ``np.repeat`` +
+        ``np.bincount`` (see :func:`repro.arch.noc.pair_channel_loads`,
+        the single consumer of the link-route part).
+        """
+        key = (self.width, self.height)
+        inc = _INCIDENCE_CACHE.get(key)
+        if inc is None:
+            inc = self._build_incidence()
+            _INCIDENCE_CACHE[key] = inc
+        return inc
+
+    def _build_incidence(self) -> RoutingIncidence:
+        n = self.num_tiles
+        counts = np.zeros(n * n, dtype=np.int64)
+        links: List[int] = []
+        for s in range(n):
+            for d in range(n):
+                if s == d:
+                    continue
+                route = self.route_links(s, d)
+                counts[s * n + d] = len(route)
+                links.extend(route)
+        pair_ids = np.arange(n * n, dtype=np.int64)
+        arrays = (
+            np.asarray(links, dtype=np.int64),
+            counts,
+            pair_ids // n,
+            pair_ids % n,
+            np.arange(n, dtype=np.int64) * (n + 1),
+        )
+        for a in arrays:
+            a.setflags(write=False)  # shared process-wide
+        return RoutingIncidence(*arrays)
+
     def link_loads(self, src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """Accumulate per-link load for weighted (src, dst) message batches.
 
         ``weight`` is typically flits (or bytes).  Because the number of
         distinct (src, dst) pairs is bounded by ``num_tiles**2`` (4096 on
         the 8x8 mesh), we first collapse the batch onto pair ids with
-        ``bincount`` and only then walk routes — keeping this fast even for
-        multi-million-element traces.
+        ``bincount``; the pair->link expansion is the shared scatter-add
+        in :func:`repro.arch.noc.pair_channel_loads` (this method keeps
+        only the router-to-router slice, not the inject/eject ports).
 
         Returns an array of length ``num_links`` with accumulated weight.
         """
+        from repro.arch.noc import pair_channel_loads  # local: avoid cycle
+
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         weight = np.broadcast_to(np.asarray(weight, dtype=np.float64), src.shape)
         pair = src * self.num_tiles + dst
         pair_weight = np.bincount(pair, weights=weight, minlength=self.num_tiles ** 2)
-        loads = np.zeros(self.num_links, dtype=np.float64)
-        nonzero = np.nonzero(pair_weight)[0]
-        for p in nonzero:
-            s, d = divmod(int(p), self.num_tiles)
-            if s == d:
-                continue
-            for link in self.route_links(s, d):
-                loads[link] += pair_weight[p]
-        return loads
+        return pair_channel_loads(self, pair_weight)[:self.num_links]
 
     def bisection_links(self) -> Tuple[List[int], List[int]]:
         """Link ids crossing the vertical mid-cut (both directions).

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,23 @@ class MessageClass(enum.Enum):
     OFFLOAD = "offload"
 
 
+#: Hop distance per (src, dst) pair, shared across every accountant of
+#: the same geometry (one sweep builds hundreds of accountants).
+_HOPS_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _hops_table(mesh: Mesh) -> np.ndarray:
+    key = (mesh.width, mesh.height)
+    hops = _HOPS_CACHE.get(key)
+    if hops is None:
+        n = mesh.num_tiles
+        idx = np.arange(n * n)
+        hops = mesh.hops(idx // n, idx % n).astype(np.float64)
+        hops.setflags(write=False)
+        _HOPS_CACHE[key] = hops
+    return hops
+
+
 def pair_channel_loads(mesh: Mesh, pair_flits: np.ndarray) -> np.ndarray:
     """Expand (src, dst)-pair flit counts onto NoC channels.
 
@@ -53,20 +70,29 @@ def pair_channel_loads(mesh: Mesh, pair_flits: np.ndarray) -> np.ndarray:
 
     Layout of the returned vector: ``[links..., inject per tile...,
     eject per tile...]``.
+
+    Implementation: one weighted scatter-add over the mesh's precomputed
+    pair->link incidence (:meth:`repro.arch.mesh.Mesh.routing_incidence`)
+    plus two ``bincount`` reductions for the ports.  ``bincount``
+    accumulates weights in input order, pair-major ascending — the exact
+    addition order of the per-pair loop this replaced — so results are
+    byte-identical, not merely close.
     """
     n = mesh.num_tiles
-    loads = np.zeros(mesh.num_links + 2 * n, dtype=np.float64)
+    pair_flits = np.asarray(pair_flits, dtype=np.float64)
+    if pair_flits.shape != (n * n,):
+        raise ValueError(f"pair_flits must have shape ({n * n},), "
+                         f"got {pair_flits.shape}")
+    inc = mesh.routing_incidence()
+    loads = np.empty(mesh.num_links + 2 * n, dtype=np.float64)
+    loads[:mesh.num_links] = np.bincount(
+        inc.link_ids, weights=np.repeat(pair_flits, inc.route_counts),
+        minlength=mesh.num_links)
+    ported = pair_flits.copy()
+    ported[inc.diagonal] = 0.0  # self-pairs never touch the NoC
     inj = mesh.num_links
-    ej = mesh.num_links + n
-    for p in np.nonzero(pair_flits)[0]:
-        s, d = divmod(int(p), n)
-        if s == d:
-            continue
-        w = pair_flits[p]
-        loads[inj + s] += w
-        loads[ej + d] += w
-        for link in mesh.route_links(s, d):
-            loads[link] += w
+    loads[inj:inj + n] = np.bincount(inc.pair_src, weights=ported, minlength=n)
+    loads[inj + n:] = np.bincount(inc.pair_dst, weights=ported, minlength=n)
     return loads
 
 
@@ -81,8 +107,15 @@ class TrafficAccountant:
             cls: np.zeros(npairs, dtype=np.float64) for cls in MessageClass
         }
         self._messages: Dict[MessageClass, float] = {cls: 0.0 for cls in MessageClass}
-        # Hop distance for every (src, dst) pair, built lazily.
+        # Hop distance for every (src, dst) pair, built lazily (shared
+        # process-wide across accountants of the same geometry).
         self._pair_hops: Optional[np.ndarray] = None
+        # Channel-load cache: expanding the pair matrix onto channels is
+        # the accountant's one non-trivial computation, and the metric
+        # getters (max/mean/utilization) all need it.  ``record`` bumps
+        # the dirty flag; the expansion runs once per dirty epoch.
+        self._channel_cache: Optional[np.ndarray] = None
+        self._dirty = True
 
     # ------------------------------------------------------------------
     def _flits_for(self, payload_bytes) -> np.ndarray:
@@ -118,13 +151,12 @@ class TrafficAccountant:
         pair = src * n + dst
         self._pair_flits[cls] += np.bincount(pair, weights=flits, minlength=n * n)
         self._messages[cls] += float(np.sum(np.broadcast_to(np.asarray(count, dtype=np.float64), src.shape)))
+        self._dirty = True
 
     # ------------------------------------------------------------------
     def _hops_per_pair(self) -> np.ndarray:
         if self._pair_hops is None:
-            n = self.mesh.num_tiles
-            idx = np.arange(n * n)
-            self._pair_hops = self.mesh.hops(idx // n, idx % n).astype(np.float64)
+            self._pair_hops = _hops_table(self.mesh)
         return self._pair_hops
 
     def flit_hops(self, cls: Optional[MessageClass] = None) -> float:
@@ -149,18 +181,29 @@ class TrafficAccountant:
         return sum(self._messages.values())
 
     # ------------------------------------------------------------------
+    def _channel_loads(self) -> np.ndarray:
+        """Per-channel loads, recomputed at most once per dirty epoch.
+
+        Internal callers treat the returned array as read-only; the
+        public :meth:`link_loads` hands out a copy.
+        """
+        if self._dirty or self._channel_cache is None:
+            total_pairs = sum(self._pair_flits.values())
+            self._channel_cache = pair_channel_loads(self.mesh, total_pairs)
+            self._dirty = False
+        return self._channel_cache
+
     def link_loads(self) -> np.ndarray:
         """Per-channel flit load (links + inject/eject ports, all classes)."""
-        total_pairs = sum(self._pair_flits.values())
-        return pair_channel_loads(self.mesh, total_pairs)
+        return self._channel_loads().copy()
 
     def max_link_load(self) -> float:
         """Flits on the most-loaded directed link (the NoC bottleneck)."""
-        loads = self.link_loads()
+        loads = self._channel_loads()
         return float(loads.max()) if loads.size else 0.0
 
     def mean_link_load(self) -> float:
-        loads = self.link_loads()
+        loads = self._channel_loads()
         # Interior links only in spirit; edge link slots stay zero, so
         # normalize by the count of links that could carry traffic.
         usable = self._usable_link_count()
@@ -175,7 +218,8 @@ class TrafficAccountant:
         """Average fraction of link-cycles carrying flits over ``cycles``."""
         if cycles <= 0:
             return 0.0
-        return min(1.0, self.link_loads().sum() / (self._usable_link_count() * cycles))
+        return min(1.0, self._channel_loads().sum()
+                   / (self._usable_link_count() * cycles))
 
     def merged_with(self, other: "TrafficAccountant") -> "TrafficAccountant":
         """Return a new accountant with both traffic sets combined."""

@@ -138,18 +138,29 @@ class HybridPolicy(BankSelectPolicy):
         return int(np.argmin(score))
 
     def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
-        """Sequential Eq. 4 over a batch, with the load updating as it goes."""
+        """Sequential Eq. 4 over a batch, with the load updating as it goes.
+
+        The loop is irreducible (every choice shifts the load the next
+        choice sees), so the body is tuned instead: in-place ops into one
+        scratch row — same operations in the same order, so bit-identical
+        to the naive expression — and the ``ndarray.argmin`` method to
+        skip the ``np.argmin`` dispatch wrapper.
+        """
         n, nb = mean_hops.shape
         loads = load.loads  # private working copy
         out = np.empty(n, dtype=np.int64)
         h = self.h
         total = loads.sum()
+        score = np.empty(nb, dtype=np.float64)
         for i in range(n):
             if h > 0 and total > 0:
-                score = mean_hops[i] + h * (loads / (total / nb) - 1.0)
+                np.divide(loads, total / nb, out=score)
+                score -= 1.0
+                score *= h
+                score += mean_hops[i]
+                b = int(score.argmin())
             else:
-                score = mean_hops[i]
-            b = int(np.argmin(score))
+                b = int(mean_hops[i].argmin())
             out[i] = b
             loads[b] += 1.0
             total += 1.0

@@ -145,15 +145,21 @@ class Machine:
                 < VirtualLayout.HEAP_VBASE + self._heap_brk)
 
     def _register_heap_footprint(self, vaddr: int, size: int) -> None:
+        """Register an allocation with the LLC footprint model.
+
+        Split page-wise (under ``heap_mode="random"`` every page has its
+        own frame), but translated and folded into the footprint as one
+        batch — the old per-page translate/register loop dominated large
+        mallocs.
+        """
         if size <= 0:
             return
         page = self.config.page_size
-        pos = vaddr
         end = vaddr + size
-        while pos < end:
-            page_end = min(end, align_up(pos + 1, page))
-            self.llc.register_range(self.space.translate_one(pos), page_end - pos)
-            pos = page_end
+        inner = np.arange(align_up(vaddr + 1, page), end, page, dtype=np.int64)
+        starts = np.concatenate(([vaddr], inner))
+        ends = np.concatenate((inner, [end]))
+        self.llc.register_spans(self.space.translate(starts), ends - starts)
 
     # ------------------------------------------------------------------
     # Paged segment (for partitioned / beyond-page interleavings)

@@ -57,6 +57,74 @@ _NSC_CHASE_MLP = 12.0
 _L2_LATENCY = 16.0
 
 
+def _shrink_key(key: np.ndarray) -> np.ndarray:
+    """Bias the key to its minimum and narrow to int32 when it fits.
+
+    Subtracting a constant and narrowing the dtype are strictly monotone,
+    so ``np.unique``'s sort order — and therefore the first-occurrence
+    indices the callers consume — is unchanged, while the radix sort runs
+    half the passes over half the bytes."""
+    lo = key.min()
+    if int(key.max()) - int(lo) < (1 << 31):
+        return (key - lo).astype(np.int32)
+    return key
+
+
+def _first_unique(key: np.ndarray) -> np.ndarray:
+    """``np.unique(key, return_index=True)[1]``: index of the first
+    occurrence of each distinct key, ordered by ascending key.
+
+    Traces mostly walk arrays in address order, so the composite keys
+    built here are already sorted more often than not; one O(n) ordered
+    check then replaces ``np.unique``'s full sort with a boundary scan
+    (identical output — on sorted input the first occurrences *are* the
+    run boundaries, in key order)."""
+    n = key.size
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if bool((key[1:] >= key[:-1]).all()):
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(key[1:], key[:-1], out=change[1:])
+        return np.flatnonzero(change)
+    return np.unique(_shrink_key(key), return_index=True)[1]
+
+
+def _first_unique_counts(key: np.ndarray):
+    """Like :func:`_first_unique` but also returns the multiplicity of
+    each distinct key (``np.unique(..., return_counts=True)``)."""
+    n = key.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty.copy()
+    if bool((key[1:] >= key[:-1]).all()):
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(key[1:], key[:-1], out=change[1:])
+        first = np.flatnonzero(change)
+        counts = np.empty(first.size, dtype=np.intp)
+        counts[:-1] = np.diff(first)
+        counts[-1] = n - first[-1]
+        return first, counts
+    _, first, counts = np.unique(_shrink_key(key), return_index=True,
+                                 return_counts=True)
+    return first, counts
+
+
+def _pair_key(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Composite (group, value) sort key, lexicographic group-major.
+
+    Values are biased to their minimum so the key's spread is
+    ``num_groups * value_range`` instead of ``num_groups << 48`` — small
+    enough for :func:`_shrink_key` to narrow the unsorted-input sort to
+    int32.  Equivalent ordering to ``groups * 2**48 + values``."""
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    lo = values.min()
+    span = np.int64(int(values.max()) - int(lo) + 1)
+    return groups * span + (values - lo)
+
+
 def _consecutive_dedup(values: np.ndarray, groups: np.ndarray) -> np.ndarray:
     """Mask of entries starting a new run of equal ``values`` within the
     same ``groups`` entry (both arrays in iteration order)."""
@@ -75,6 +143,12 @@ class StreamExecutor:
         self.rec = recorder
         self.mode = mode
         self.line = machine.config.cache.line_bytes
+        # Power-of-two lines (every config) index with a shift; `>>` is
+        # floor division bit for bit on int64.
+        if self.line & (self.line - 1) == 0:
+            self._line_shift = self.line.bit_length() - 1
+        else:
+            self._line_shift = None
         self.perf = machine.config.perf
         self.l3_latency = float(machine.config.cache.access_latency)
         self.hop_latency = float(machine.config.noc.hop_latency)
@@ -86,7 +160,10 @@ class StreamExecutor:
         addrs = handle.addr_of(idx)
         paddrs = self.machine.translate(addrs)
         banks = self.machine.llc.banks_of(paddrs)
-        lines = paddrs // self.line
+        if self._line_shift is not None:
+            lines = paddrs >> self._line_shift
+        else:
+            lines = paddrs // self.line
         return banks, lines
 
     def _fetch_lines_to_core(self, cores, banks, lines, store: bool = False,
@@ -121,8 +198,8 @@ class StreamExecutor:
         """
         nc = self.machine.num_cores
         cap = float(self.machine.config.cache.private_cache_bytes)
-        key = cores * np.int64(1 << 48) + lines
-        _, first = np.unique(key, return_index=True)
+        key = _pair_key(cores, lines)
+        first = _first_unique(key)
         u_per_core = np.bincount(cores[first], minlength=nc).astype(np.float64)
         a_per_core = np.bincount(cores, minlength=nc).astype(np.float64)
         footprint = u_per_core * self.line
@@ -134,8 +211,8 @@ class StreamExecutor:
 
     def _config_pairs(self, cores, banks):
         """For each active core, (core, bank of its first element)."""
-        active, first = np.unique(cores, return_index=True)
-        return active, banks[first]
+        first = _first_unique(cores)
+        return cores[first], banks[first]
 
     def _migrations(self, banks: np.ndarray, lines: np.ndarray,
                     groups: np.ndarray, repeat: float = 1.0) -> None:
@@ -153,10 +230,10 @@ class StreamExecutor:
         """Coarse-grained flow control: one credit round trip per
         ``credit_iters`` iterations per core (paper §2.2)."""
         k = self.perf.credit_iters
-        active, first, counts = np.unique(cores, return_index=True,
-                                          return_counts=True)
-        if active.size == 0:
+        first, counts = _first_unique_counts(cores)
+        if first.size == 0:
             return
+        active = cores[first]
         n_credits = np.ceil(counts / k) * repeat
         peer = banks[first]  # each core's first bank is the credit peer
         self.rec.traffic.record(active, peer, _CREDIT_BYTES,
@@ -194,11 +271,15 @@ class StreamExecutor:
             for (h, _i), (banks, lines) in zip(ins, in_bl):
                 seen.setdefault(id(h), []).append((banks, lines))
             for group in seen.values():
-                banks = np.concatenate([b for b, _ in group])
-                lines = np.concatenate([l for _, l in group])
-                gcores = np.concatenate([cores] * len(group))
-                key = gcores * np.int64(1 << 48) + lines
-                _, first = np.unique(key, return_index=True)
+                if len(group) == 1:  # skip the no-op concatenate copies
+                    banks, lines = group[0]
+                    gcores = cores
+                else:
+                    banks = np.concatenate([b for b, _ in group])
+                    lines = np.concatenate([l for _, l in group])
+                    gcores = np.concatenate([cores] * len(group))
+                key = _pair_key(gcores, lines)
+                first = _first_unique(key)
                 c, b = gcores[first], banks[first]
                 self.rec.traffic.record(c, b, 0, MessageClass.CONTROL,
                                         count=repeat)
@@ -223,17 +304,21 @@ class StreamExecutor:
         for (h, _idx), bl in zip(ins, in_bl):
             groups.setdefault(id(h), (h, []))[1].append(bl)
         for h, bls in groups.values():
-            banks = np.concatenate([b for b, _ in bls])
-            lines = np.concatenate([l for _, l in bls])
+            if len(bls) == 1:  # skip the no-op concatenate copies
+                banks, lines = bls[0]
+            else:
+                banks = np.concatenate([b for b, _ in bls])
+                lines = np.concatenate([l for _, l in bls])
             self._offload_config(*self._config_pairs(cores, bls[0][0]),
                                  repeat=repeat)
             # one bank read per distinct line of this array
-            _, first = np.unique(lines, return_index=True)
+            first = _first_unique(lines)
             self.rec.add_bank_accesses(banks[first], repeat)
             # forward operands to the consumer where not colocated,
             # aggregated per (source line, consumer bank)
             if out_bl is not None:
-                cb = np.concatenate([consumer_banks] * len(bls))
+                cb = (consumer_banks if len(bls) == 1
+                      else np.concatenate([consumer_banks] * len(bls)))
                 need = banks != cb
                 self.rec.add_stream_locality(banks.size * repeat,
                                              float(need.sum()) * repeat)
@@ -263,8 +348,7 @@ class StreamExecutor:
     def _group_pairs(self, lines, src_banks, dst_banks):
         """Aggregate (source line -> dest bank) forwarding messages."""
         key = lines * np.int64(self.machine.num_banks) + dst_banks
-        _uniq, first, counts = np.unique(key, return_index=True,
-                                         return_counts=True)
+        first, counts = _first_unique_counts(key)
         return src_banks[first], dst_banks[first], counts
 
     # ------------------------------------------------------------------
@@ -366,7 +450,10 @@ class StreamExecutor:
             # Every node is a dependent round trip core <-> bank, except
             # the hot top of the structure (tree roots, list heads) that
             # the private cache retains across chains.
-            lines = paddrs // self.line
+            if self._line_shift is not None:
+                lines = paddrs >> self._line_shift
+            else:
+                lines = paddrs // self.line
             first, mult, miss_rate = self._capacity_filter(cores, lines)
             c, b = cores[first], banks[first]
             self.rec.traffic.record(c, b, 0, MessageClass.CONTROL,

@@ -55,6 +55,12 @@ class PagedRegion:
         self.name = name
         self.vrange = AddressRange(vbase, vbase + size)
         self.page_size = page_size
+        # Power-of-two pages (the only kind configs use) translate with a
+        # shift and a mask; both equal `//`/`%` bit for bit on int64.
+        if page_size & (page_size - 1) == 0:
+            self._page_shift = page_size.bit_length() - 1
+        else:
+            self._page_shift = None
         self.max_pages = size // page_size
         # Growable frame table: only as large as the highest mapped page
         # (the reservation is 1 TiB; preallocating it would be absurd).
@@ -83,15 +89,22 @@ class PagedRegion:
 
     def translate(self, vaddrs: np.ndarray) -> np.ndarray:
         offs = vaddrs - self.vrange.start
-        pages = offs // self.page_size
-        if pages.size and pages.max() >= self._frames.size:
+        if self._page_shift is not None:
+            pages = offs >> self._page_shift
+            in_page = offs & (self.page_size - 1)
+        else:
+            pages = offs // self.page_size
+            in_page = offs % self.page_size
+        # Single-pass min/max reductions instead of full boolean masks;
+        # the masks are only materialized on the error paths.
+        if pages.size and int(pages.max()) >= self._frames.size:
             bad = vaddrs[pages >= self._frames.size][0]
             raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")
         frames = self._frames[pages]
-        if (frames < 0).any():
+        if frames.size and int(frames.min()) < 0:
             bad = vaddrs[frames < 0][0]
             raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")
-        return frames + offs % self.page_size
+        return frames + in_page
 
     def __repr__(self) -> str:
         return f"PagedRegion({self.name}, v={self.vrange.start:#x}+{self.vrange.size:#x})"
@@ -104,6 +117,11 @@ class AddressSpace:
         self._regions: List = []
         self._starts = np.empty(0, dtype=np.int64)
         self._ends = np.empty(0, dtype=np.int64)
+        # Per-region linear deltas (pbase - vbase) let translate() handle
+        # every LinearRegion — the heap and all interleave pools — as one
+        # fancy-indexed add; only PagedRegions need a per-region call.
+        self._deltas = np.empty(0, dtype=np.int64)
+        self._paged_ids: List[int] = []
 
     def add(self, region) -> None:
         for r in self._regions:
@@ -113,6 +131,11 @@ class AddressSpace:
         self._regions.sort(key=lambda r: r.vrange.start)
         self._starts = np.array([r.vrange.start for r in self._regions], dtype=np.int64)
         self._ends = np.array([r.vrange.end for r in self._regions], dtype=np.int64)
+        self._deltas = np.array(
+            [r.pbase - r.vrange.start if isinstance(r, LinearRegion) else 0
+             for r in self._regions], dtype=np.int64)
+        self._paged_ids = [i for i, r in enumerate(self._regions)
+                           if not isinstance(r, LinearRegion)]
 
     def region_of(self, vaddr: int):
         idx = int(np.searchsorted(self._starts, vaddr, side="right")) - 1
@@ -121,21 +144,44 @@ class AddressSpace:
         return None
 
     def translate(self, vaddrs) -> np.ndarray:
-        """Virtual -> physical for scalar or array addresses."""
+        """Virtual -> physical for scalar or array addresses.
+
+        One ``searchsorted`` locates every address's region; linear
+        regions (the common case: heap + every interleave pool) then
+        translate in a single fancy-indexed add, and only paged regions
+        fall back to a per-region page-table gather.
+        """
         vaddrs = np.atleast_1d(np.asarray(vaddrs, dtype=np.int64))
-        out = np.empty_like(vaddrs)
+        if vaddrs.size:
+            # Fast path: a batch whose [min, max] fits one region (almost
+            # every executor call — a trace walks one array) needs two
+            # O(n) reductions and one scalar bisect instead of the
+            # per-address searchsorted and gathers below.  Regions never
+            # overlap, so min/max inside region i puts every address in i.
+            lo = int(vaddrs.min())
+            i = int(np.searchsorted(self._starts, lo, side="right")) - 1
+            if i >= 0 and lo >= self._starts[i] \
+                    and int(vaddrs.max()) < self._ends[i]:
+                region = self._regions[i]
+                if isinstance(region, LinearRegion):
+                    return vaddrs + self._deltas[i]
+                return region.translate(vaddrs)
         idx = np.searchsorted(self._starts, vaddrs, side="right") - 1
         if (idx < 0).any():
             bad = vaddrs[idx < 0][0]
             raise RuntimeError(f"unmapped virtual address {int(bad):#x}")
-        for rid in np.unique(idx):
-            region = self._regions[rid]
+        oob = vaddrs >= self._ends[idx]
+        if oob.any():
+            # Report what the old per-region loop reported: lowest region
+            # id first, then first offender in array order within it.
+            rid = int(idx[oob].min())
+            bad = vaddrs[oob & (idx == rid)][0]
+            raise RuntimeError(f"unmapped virtual address {int(bad):#x}")
+        out = vaddrs + self._deltas[idx]
+        for rid in self._paged_ids:
             mask = idx == rid
-            addrs = vaddrs[mask]
-            if (addrs >= self._ends[rid]).any():
-                bad = addrs[addrs >= self._ends[rid]][0]
-                raise RuntimeError(f"unmapped virtual address {int(bad):#x}")
-            out[mask] = region.translate(addrs)
+            if mask.any():
+                out[mask] = self._regions[rid].translate(vaddrs[mask])
         return out
 
     def translate_one(self, vaddr: int) -> int:

@@ -1,0 +1,126 @@
+"""The tracked benchmark suite: JSON schema, compare semantics, CLI."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (BENCH_NAMES, cli, compare_bench, run_benches,
+                              write_bench_json)
+
+
+@pytest.fixture(scope="module")
+def noc_payloads():
+    # One real (smoke-sized) bench run, shared across the module.
+    return run_benches(["noc"], smoke=True)
+
+
+class TestRunBenches:
+    def test_schema(self, noc_payloads):
+        payload = noc_payloads["noc"]
+        assert payload["bench"] == "noc"
+        assert payload["schema"] == 1
+        assert payload["smoke"] is True
+        for key in ("python", "numpy", "platform", "cpu_count", "timestamp"):
+            assert key in payload["env"]
+        assert "pair_channel_loads" in payload["metrics"]
+        for m in payload["metrics"].values():
+            assert m["seconds"] > 0
+            assert isinstance(m["params"], dict)
+            if m["reference_seconds"] is not None:
+                assert m["speedup"] == pytest.approx(
+                    m["reference_seconds"] / m["seconds"])
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench"):
+            run_benches(["nope"])
+
+    def test_json_roundtrip(self, noc_payloads, tmp_path):
+        paths = write_bench_json(noc_payloads, tmp_path)
+        assert [p.name for p in paths] == ["BENCH_noc.json"]
+        loaded = json.loads(paths[0].read_text())
+        assert loaded == noc_payloads["noc"]
+
+
+class TestCompare:
+    def _payload(self, seconds=1.0, speedup=10.0, params=None):
+        return {
+            "bench": "noc", "schema": 1, "smoke": True, "env": {},
+            "metrics": {"m": {
+                "seconds": seconds, "calls": 1,
+                "reference_seconds": seconds * speedup, "speedup": speedup,
+                "params": params if params is not None else {"n": 5},
+            }},
+        }
+
+    def test_no_regression(self):
+        old, new = self._payload(), self._payload(seconds=1.5)
+        assert compare_bench(old, new, threshold=2.0) == []
+
+    def test_seconds_regression(self):
+        old, new = self._payload(), self._payload(seconds=2.5)
+        problems = compare_bench(old, new, threshold=2.0)
+        assert len(problems) == 1 and "slowdown" in problems[0]
+
+    def test_speedup_regression(self):
+        old = self._payload(speedup=10.0)
+        new = self._payload(speedup=4.0)
+        problems = compare_bench(old, new, threshold=2.0,
+                                 metric="speedup")
+        assert len(problems) == 1 and "speedup" in problems[0]
+
+    def test_param_mismatch_skipped(self):
+        old = self._payload(params={"n": 5})
+        new = self._payload(seconds=100.0, params={"n": 50})
+        assert compare_bench(old, new) == []
+
+    def test_metric_selector(self):
+        # A pure wall-clock slip with unchanged speedup: the CI mode
+        # (speedup-only) must not flag it — machines differ in speed.
+        old = self._payload(seconds=1.0, speedup=10.0)
+        new = self._payload(seconds=3.0, speedup=10.0)
+        assert compare_bench(old, new, metric="speedup") == []
+        assert compare_bench(old, new, metric="seconds") != []
+
+
+class TestCli:
+    def test_writes_json_and_exits_zero(self, tmp_path, capsys):
+        rc = cli(["--smoke", "--only", "noc", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "BENCH_noc.json").exists()
+
+    def test_compare_against_self_passes(self, tmp_path):
+        assert cli(["--smoke", "--only", "noc",
+                    "--out", str(tmp_path)]) == 0
+        assert cli(["--smoke", "--only", "noc", "--out", str(tmp_path),
+                    "--compare"]) == 0
+
+    def test_compare_flags_crafted_regression(self, tmp_path, capsys):
+        assert cli(["--smoke", "--only", "noc",
+                    "--out", str(tmp_path)]) == 0
+        # Forge an impossibly good baseline: everything now "regresses".
+        path = tmp_path / "BENCH_noc.json"
+        baseline = json.loads(path.read_text())
+        for m in baseline["metrics"].values():
+            m["seconds"] = 1e-12
+            if m["speedup"] is not None:
+                m["speedup"] = 1e9
+        path.write_text(json.dumps(baseline))
+        rc = cli(["--smoke", "--only", "noc", "--out", str(tmp_path),
+                  "--compare"])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_compare_missing_baseline_is_not_an_error(self, tmp_path,
+                                                      capsys):
+        rc = cli(["--smoke", "--only", "noc", "--out", str(tmp_path),
+                  "--compare", "--baseline", str(tmp_path / "nowhere")])
+        assert rc == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_unknown_bench_name_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli(["--only", "bogus", "--out", str(tmp_path)])
+
+    def test_bench_names_cover_issue_artifacts(self):
+        # The committed artifacts the ISSUE names must stay producible.
+        assert "noc" in BENCH_NAMES and "fig12" in BENCH_NAMES

@@ -48,3 +48,41 @@ class TestCapacityFilter:
         _, mult, miss = executor._capacity_filter(cores, lines)
         assert mult == pytest.approx(np.ones(64))
         assert miss[0] == pytest.approx(1.0)
+
+
+class TestCapacityFilterEdgeCases:
+    """Degenerate traces the vectorized dedup must handle exactly."""
+
+    def test_empty_trace(self, executor):
+        empty = np.empty(0, dtype=np.int64)
+        first, mult, miss = executor._capacity_filter(empty, empty)
+        assert first.size == 0
+        assert mult.size == 0
+        # No accesses anywhere: every per-core rate degrades to 0/max(a,1).
+        assert miss == pytest.approx(np.zeros_like(miss))
+
+    def test_single_element(self, executor):
+        first, mult, miss = executor._capacity_filter(
+            np.array([3], dtype=np.int64), np.array([17], dtype=np.int64))
+        assert first.tolist() == [0]
+        assert mult == pytest.approx([1.0])
+        assert miss[3] == pytest.approx(1.0)
+
+    def test_all_same_line(self, executor):
+        # 1000 hits on one line from one core: a single fetch survives.
+        cores = np.zeros(1000, dtype=np.int64)
+        lines = np.full(1000, 99, dtype=np.int64)
+        first, mult, miss = executor._capacity_filter(cores, lines)
+        assert first.tolist() == [0]
+        assert mult == pytest.approx([1.0])
+        assert miss[0] == pytest.approx(1 / 1000)
+
+    def test_all_same_line_many_cores(self, executor):
+        # Every core hammers the same line: one fetch per core.
+        nc = executor.machine.num_cores
+        cores = np.repeat(np.arange(nc, dtype=np.int64), 10)
+        lines = np.full(cores.size, 5, dtype=np.int64)
+        first, mult, miss = executor._capacity_filter(cores, lines)
+        assert first.size == nc
+        assert mult == pytest.approx(np.ones(nc))
+        assert miss == pytest.approx(np.full(nc, 0.1))
