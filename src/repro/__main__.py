@@ -13,6 +13,9 @@ Usage::
     python -m repro lint examples/lint_fixtures --expect-findings
     python -m repro bench                  # tracked perf benchmarks
     python -m repro bench --smoke --compare --baseline benchmarks/smoke
+    python -m repro chaos --seed 0 --rate 0.05   # fault injection +
+                                           # degradation report
+    python -m repro chaos --plan plan.json vecadd pr_push
 
 Results of ``all`` (and any multi-experiment invocation) are also written
 as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
@@ -45,6 +48,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench":
         from repro.perf.bench import cli as bench_cli
         return bench_cli(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos import cli as chaos_cli
+        return chaos_cli(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -8,7 +8,8 @@ Codes are grouped by pass:
 * ``AFF0xx`` — constraint linter (alignment / interleave / pool issues),
 * ``LIF0xx`` — allocation lifetime checker,
 * ``RACE0xx`` — stream-graph hazard detector,
-* ``COV0xx`` — static affinity-coverage estimator.
+* ``COV0xx`` — static affinity-coverage estimator,
+* ``CHS0xx`` — chaos fault-log replay checker.
 
 The module also defines the :class:`AffinityError` exception hierarchy
 used by the runtime's error paths.  Every class subclasses
@@ -42,6 +43,9 @@ __all__ = [
     "DoubleFreeError",
     "UnknownAddressError",
     "LintFailure",
+    "TopologyError",
+    "NoHealthyBankError",
+    "WorkerCrashError",
 ]
 
 
@@ -99,6 +103,10 @@ CODES: Dict[str, str] = {
     # Coverage estimator ------------------------------------------------
     "COV001": "predicted bank-local fraction below threshold",
     "COV002": "predicted mean NoC hops per access above threshold",
+    # Chaos fault-log replay --------------------------------------------
+    "CHS001": "fault event left unhandled (no degradation path fired)",
+    "CHS002": "fault handled by a degraded-mode fallback",
+    "CHS003": "fault plan event never triggered during the run",
 }
 
 
@@ -228,3 +236,26 @@ class LintFailure(AffinityError):
     def __init__(self, report: "DiagnosticReport"):
         self.report = report
         super().__init__(f"afflint pre-flight failed: {report.summary()}")
+
+
+class TopologyError(AffinityError):
+    """A topology change would leave the mesh unroutable (e.g. removing
+    a link that disconnects a tile)."""
+
+
+class NoHealthyBankError(AllocationError):
+    """Every candidate bank for a placement decision is failed/masked."""
+
+
+class WorkerCrashError(RuntimeError):
+    """An injected runner-worker crash (chaos fault injection).
+
+    Deliberately *not* an :class:`AffinityError`: it models infrastructure
+    death, not an allocation problem, and must cross process boundaries
+    (it is raised inside pool workers and re-raised in the parent), so it
+    keeps a single-string payload to stay picklable.
+    """
+
+    def __init__(self, task: str = ""):
+        self.task = task
+        super().__init__(f"injected worker crash while running {task!r}")

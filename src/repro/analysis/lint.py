@@ -209,7 +209,20 @@ def cli(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--expect-findings", action="store_true",
                         help="invert the exit code: succeed only if "
                              "findings were reported (CI fixture check)")
+    parser.add_argument("--fault-log", type=Path, default=None,
+                        help="replay a chaos fault event log (JSON from "
+                             "python -m repro chaos --save-log) into CHS "
+                             "diagnostics; exits nonzero on unhandled "
+                             "faults (CHS001)")
     args = parser.parse_args(argv)
+
+    if args.fault_log is not None:
+        from repro.faults.log import FaultEventLog
+        report = FaultEventLog.load(args.fault_log).to_diagnostics()
+        print(report.render())
+        if args.expect_findings:
+            return 0 if report.has_findings else 1
+        return 1 if report.has_errors else 0
 
     any_findings = False
     any_errors = False

@@ -69,6 +69,12 @@ class InterleaveOverrideTable:
         self._ends = np.empty(0, dtype=np.int64)
         self._shifts = np.empty(0, dtype=np.int64)
         self._sorted_entries: List[IotEntry] = []
+        # Bank-remap vector (chaos fault injection): when a bank fails,
+        # the runtime "re-homes" its traffic by retiring the bank here —
+        # every lookup's final bank id passes through the vector.  None
+        # on the (overwhelmingly common) healthy path, which therefore
+        # executes the exact original instruction sequence.
+        self._remap: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -116,7 +122,29 @@ class InterleaveOverrideTable:
             return self._sorted_entries[i]
         return None
 
-    def banks(self, addrs: np.ndarray, default_shift: int) -> np.ndarray:
+    def retire_bank(self, bank: int, replacement: int) -> None:
+        """Re-home ``bank`` onto ``replacement`` for every future lookup.
+
+        Installs (or updates) the bank-remap vector.  Existing chains are
+        rewritten — if ``replacement`` itself later fails, banks that were
+        re-homed onto it follow it to its new home — so the vector never
+        maps onto a retired bank.
+        """
+        if not (0 <= bank < self.num_banks and 0 <= replacement < self.num_banks):
+            raise ValueError("bank ids out of range")
+        if bank == replacement:
+            raise ValueError("cannot re-home a bank onto itself")
+        if self._remap is None:
+            self._remap = np.arange(self.num_banks, dtype=np.int64)
+        self._remap[self._remap == bank] = replacement
+
+    @property
+    def bank_remap(self) -> Optional[np.ndarray]:
+        """The active remap vector (read-only view), or None when healthy."""
+        return None if self._remap is None else self._remap.copy()
+
+    def banks(self, addrs: np.ndarray, default_shift: int,
+              apply_remap: bool = True) -> np.ndarray:
         """Map physical addresses to bank ids (Eq. 1), vectorized.
 
         Addresses outside every override region use the default static-NUCA
@@ -126,7 +154,16 @@ class InterleaveOverrideTable:
         One ``searchsorted`` over the sorted range table finds every
         address's candidate entry; ranges never overlap, so "start is the
         nearest at-or-below AND addr < end" is exact membership.
+
+        ``apply_remap=False`` returns the *raw* (pre-fault) mapping; the
+        executor's fault guard uses it to detect touches of failed banks.
         """
+        banks = self._banks_raw(addrs, default_shift)
+        if apply_remap and self._remap is not None:
+            return self._remap[banks]
+        return banks
+
+    def _banks_raw(self, addrs: np.ndarray, default_shift: int) -> np.ndarray:
         addrs = np.asarray(addrs, dtype=np.int64)
         mask = self._bank_mask
         if self._starts.size and addrs.size:

@@ -48,9 +48,28 @@ class LlcModel:
     def bank_of(self, paddr: int) -> int:
         return int(self.banks_of(np.asarray([paddr]))[0])
 
-    def banks_of(self, paddrs: np.ndarray) -> np.ndarray:
-        """Physical address(es) -> owning L3 bank id (vectorized)."""
-        return self.iot.banks(np.asarray(paddrs, dtype=np.int64), self._default_shift)
+    def banks_of(self, paddrs: np.ndarray, raw: bool = False) -> np.ndarray:
+        """Physical address(es) -> owning L3 bank id (vectorized).
+
+        ``raw=True`` bypasses any fault-injection bank remap and returns
+        the pre-fault mapping (used by the executor's fault guard to
+        detect touches of failed banks).
+        """
+        return self.iot.banks(np.asarray(paddrs, dtype=np.int64),
+                              self._default_shift, apply_remap=not raw)
+
+    def rehome_bank(self, bank: int, replacement: int) -> float:
+        """Retire ``bank`` onto ``replacement`` (chaos bank failure).
+
+        Installs the IOT remap and migrates the failed bank's resident
+        footprint onto the replacement, so capacity pressure (and hence
+        miss fractions) degrade measurably.  Returns the bytes moved.
+        """
+        self.iot.retire_bank(bank, replacement)
+        moved = float(self._footprint_bytes[bank])
+        self._footprint_bytes[replacement] += moved
+        self._footprint_bytes[bank] = 0.0
+        return moved
 
     # ------------------------------------------------------------------
     # Footprint / capacity

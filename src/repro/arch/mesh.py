@@ -10,10 +10,13 @@ executor feeds millions of (src, dst) pairs through them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.analysis.diagnostics import TopologyError
 
 __all__ = ["Mesh", "RoutingIncidence"]
 
@@ -48,11 +51,14 @@ class RoutingIncidence:
     diagonal: np.ndarray
 
 
-#: Process-wide incidence memo, keyed by (width, height).  Meshes are
+#: Process-wide incidence memo, keyed by the full topology — geometry
+#: plus the (usually empty) set of dead links.  Pristine meshes are
 #: immutable value objects, so every Mesh/TrafficAccountant of the same
 #: geometry (including the per-phase loads of every run in a sweep)
-#: shares one structure.
-_INCIDENCE_CACHE: Dict[Tuple[int, int], RoutingIncidence] = {}
+#: shares one structure; a degraded mesh keys a separate entry, so link
+#: removal can never serve stale routes (the PR 3 memo had no
+#: invalidation hook at all).
+_INCIDENCE_CACHE: Dict[Tuple[int, int, FrozenSet[int]], RoutingIncidence] = {}
 
 
 class Mesh:
@@ -73,6 +79,142 @@ class Mesh:
         # Directed links: (x-links) + (y-links). A link id encodes
         # (from_tile, direction); see _link_id below.
         self.num_links = self.num_tiles * 4  # E, W, N, S per tile (edge links unused)
+        # Degraded-topology state (chaos fault injection).  A pristine
+        # mesh has an empty dead set and epoch 0 and takes exactly the
+        # original Manhattan / X-Y code paths, bit for bit.
+        self._dead_links: FrozenSet[int] = frozenset()
+        self.topology_epoch = 0
+        self._dist_table: Optional[np.ndarray] = None
+        self._route_memo: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology (degraded routing around dead links)
+    # ------------------------------------------------------------------
+    @property
+    def dead_links(self) -> FrozenSet[int]:
+        return self._dead_links
+
+    @property
+    def topology_key(self) -> Tuple[int, int, FrozenSet[int]]:
+        """Hashable key identifying this exact topology (geometry + dead
+        links) — the cache key for every process-wide routing memo."""
+        return (self.width, self.height, self._dead_links)
+
+    def _neighbor(self, tile: int, direction: int) -> int:
+        """Neighbor tile in ``direction``, or -1 at the mesh edge."""
+        x, y = tile % self.width, tile // self.width
+        if direction == self._EAST:
+            return tile + 1 if x + 1 < self.width else -1
+        if direction == self._WEST:
+            return tile - 1 if x > 0 else -1
+        if direction == self._NORTH:
+            return tile - self.width if y > 0 else -1
+        return tile + self.width if y + 1 < self.height else -1
+
+    def undirected_interior_links(self) -> List[Tuple[int, int]]:
+        """Every physical (bidirectional) link as an ``(a, b)`` tile pair
+        with ``a < b``, in deterministic ascending order.  This is the
+        sample space for link-failure fault generation."""
+        pairs: List[Tuple[int, int]] = []
+        for t in range(self.num_tiles):
+            e = self._neighbor(t, self._EAST)
+            if e >= 0:
+                pairs.append((t, e))
+            s = self._neighbor(t, self._SOUTH)
+            if s >= 0:
+                pairs.append((t, s))
+        pairs.sort()
+        return pairs
+
+    def _directed_pair_links(self, a: int, b: int) -> Tuple[int, int]:
+        """The two directed link ids joining adjacent tiles ``a`` and ``b``."""
+        for direction in (self._EAST, self._WEST, self._NORTH, self._SOUTH):
+            if self._neighbor(a, direction) == b:
+                back = {self._EAST: self._WEST, self._WEST: self._EAST,
+                        self._NORTH: self._SOUTH, self._SOUTH: self._NORTH}[direction]
+                return self._link_id(a, direction), self._link_id(b, back)
+        raise TopologyError(f"tiles {a} and {b} are not mesh neighbors")
+
+    def remove_link_between(self, a: int, b: int) -> None:
+        """Kill the bidirectional link between adjacent tiles ``a``, ``b``.
+
+        Bumps :attr:`topology_epoch` so every memoized routing structure
+        (incidence, hop tables, accountant channel caches) is rebuilt.
+        Refuses removals that would disconnect the mesh — the degraded
+        machine must still be able to route every pair.
+        """
+        fwd, rev = self._directed_pair_links(a, b)
+        if fwd in self._dead_links:
+            return  # already dead; idempotent
+        candidate = self._dead_links | {fwd, rev}
+        if not self._connected(candidate):
+            raise TopologyError(
+                f"removing link {a}<->{b} would disconnect the mesh")
+        self._dead_links = candidate
+        self.topology_epoch += 1
+        self._dist_table = None
+        self._route_memo.clear()
+
+    def _connected(self, dead: FrozenSet[int]) -> bool:
+        """True if every tile is reachable from tile 0 over live links.
+
+        Links die in bidirectional pairs, so the live graph is symmetric
+        and plain reachability equals strong connectivity.
+        """
+        seen = np.zeros(self.num_tiles, dtype=bool)
+        seen[0] = True
+        queue = deque([0])
+        while queue:
+            t = queue.popleft()
+            for direction in (self._EAST, self._WEST, self._NORTH, self._SOUTH):
+                nb = self._neighbor(t, direction)
+                if nb < 0 or seen[nb] or self._link_id(t, direction) in dead:
+                    continue
+                seen[nb] = True
+                queue.append(nb)
+        return bool(seen.all())
+
+    def _bfs_from(self, src: int) -> Tuple[np.ndarray, np.ndarray]:
+        """BFS shortest-path tree from ``src`` over live links.
+
+        Returns ``(dist, parent_link)`` arrays; ``parent_link[t]`` is the
+        directed link taken *into* ``t`` on the tree path (-1 at src).
+        Neighbor expansion order is fixed (E, W, N, S), so ties break the
+        same way in every process — degraded routes are deterministic.
+        """
+        memo = self._route_memo.get(src)
+        if memo is not None:
+            return memo
+        dist = np.full(self.num_tiles, -1, dtype=np.int64)
+        parent_link = np.full(self.num_tiles, -1, dtype=np.int64)
+        parent_tile = np.full(self.num_tiles, -1, dtype=np.int64)
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            t = queue.popleft()
+            for direction in (self._EAST, self._WEST, self._NORTH, self._SOUTH):
+                nb = self._neighbor(t, direction)
+                link = self._link_id(t, direction)
+                if nb < 0 or dist[nb] >= 0 or link in self._dead_links:
+                    continue
+                dist[nb] = dist[t] + 1
+                parent_link[nb] = link
+                parent_tile[nb] = t
+                queue.append(nb)
+        self._route_memo[src] = (dist, np.stack([parent_link, parent_tile]))
+        return self._route_memo[src]
+
+    def _distance_table(self) -> np.ndarray:
+        """All-pairs hop distances over live links (degraded mode only)."""
+        if self._dist_table is None:
+            n = self.num_tiles
+            table = np.empty((n, n), dtype=np.int64)
+            for s in range(n):
+                dist, _ = self._bfs_from(s)
+                table[s] = dist
+            table.setflags(write=False)
+            self._dist_table = table
+        return self._dist_table
 
     # ------------------------------------------------------------------
     # Coordinates
@@ -96,11 +238,15 @@ class Mesh:
     # Distances
     # ------------------------------------------------------------------
     def hops(self, src, dst) -> np.ndarray:
-        """Manhattan distance between tiles (vectorized).
+        """Distance between tiles in link traversals (vectorized).
 
-        With X-Y routing the route length equals the Manhattan distance,
-        so this is both "distance" and "number of link traversals".
+        Pristine mesh: Manhattan distance (route length equals Manhattan
+        distance under X-Y routing).  With dead links, distances come
+        from the memoized BFS all-pairs table over live links.
         """
+        if self._dead_links:
+            table = self._distance_table()
+            return table[np.asarray(src), np.asarray(dst)]
         sx, sy = self.coords(np.asarray(src))
         dx, dy = self.coords(np.asarray(dst))
         return np.abs(sx - dx) + np.abs(sy - dy)
@@ -119,6 +265,8 @@ class Mesh:
         a small set of affinity addresses in one shot.
         """
         targets = np.asarray(targets)
+        if self._dead_links:
+            return self._distance_table()[:, targets]
         all_tiles = np.arange(self.num_tiles)
         bx, by = self.coords(all_tiles)
         tx, ty = self.coords(targets)
@@ -134,7 +282,13 @@ class Mesh:
         return tile * 4 + direction
 
     def route_links(self, src: int, dst: int) -> List[int]:
-        """Directed link ids on the X-Y route from ``src`` to ``dst``."""
+        """Directed link ids on the route from ``src`` to ``dst``.
+
+        Pristine mesh: the X-Y route.  With dead links: the BFS
+        shortest path over live links (deterministic tie-breaking).
+        """
+        if self._dead_links:
+            return self._route_links_degraded(src, dst)
         links: List[int] = []
         sx, sy = src % self.width, src // self.width
         dx, dy = dst % self.width, dst // self.width
@@ -151,6 +305,19 @@ class Mesh:
             y += step
         return links
 
+    def _route_links_degraded(self, src: int, dst: int) -> List[int]:
+        dist, parents = self._bfs_from(src)
+        if dist[dst] < 0:
+            raise TopologyError(f"no route from {src} to {dst}")
+        parent_link, parent_tile = parents
+        links: List[int] = []
+        t = dst
+        while t != src:
+            links.append(int(parent_link[t]))
+            t = int(parent_tile[t])
+        links.reverse()
+        return links
+
     def routing_incidence(self) -> RoutingIncidence:
         """The pair->channel incidence for this geometry (memoized).
 
@@ -160,7 +327,7 @@ class Mesh:
         ``np.bincount`` (see :func:`repro.arch.noc.pair_channel_loads`,
         the single consumer of the link-route part).
         """
-        key = (self.width, self.height)
+        key = self.topology_key
         inc = _INCIDENCE_CACHE.get(key)
         if inc is None:
             inc = self._build_incidence()

@@ -41,12 +41,14 @@ class MessageClass(enum.Enum):
 
 
 #: Hop distance per (src, dst) pair, shared across every accountant of
-#: the same geometry (one sweep builds hundreds of accountants).
-_HOPS_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+#: the same topology (one sweep builds hundreds of accountants).  Keyed
+#: by the full topology key — geometry plus dead-link set — so degraded
+#: meshes never serve pristine distances (or vice versa).
+_HOPS_CACHE: Dict[tuple, np.ndarray] = {}
 
 
 def _hops_table(mesh: Mesh) -> np.ndarray:
-    key = (mesh.width, mesh.height)
+    key = mesh.topology_key
     hops = _HOPS_CACHE.get(key)
     if hops is None:
         n = mesh.num_tiles
@@ -108,13 +110,16 @@ class TrafficAccountant:
         }
         self._messages: Dict[MessageClass, float] = {cls: 0.0 for cls in MessageClass}
         # Hop distance for every (src, dst) pair, built lazily (shared
-        # process-wide across accountants of the same geometry).
+        # process-wide across accountants of the same topology).
         self._pair_hops: Optional[np.ndarray] = None
+        self._hops_epoch = mesh.topology_epoch
         # Channel-load cache: expanding the pair matrix onto channels is
         # the accountant's one non-trivial computation, and the metric
         # getters (max/mean/utilization) all need it.  ``record`` bumps
-        # the dirty flag; the expansion runs once per dirty epoch.
+        # the dirty flag; the expansion runs once per dirty epoch, and a
+        # mesh topology-epoch bump (chaos link failure) also invalidates.
         self._channel_cache: Optional[np.ndarray] = None
+        self._cache_epoch = mesh.topology_epoch
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -155,8 +160,9 @@ class TrafficAccountant:
 
     # ------------------------------------------------------------------
     def _hops_per_pair(self) -> np.ndarray:
-        if self._pair_hops is None:
+        if self._pair_hops is None or self._hops_epoch != self.mesh.topology_epoch:
             self._pair_hops = _hops_table(self.mesh)
+            self._hops_epoch = self.mesh.topology_epoch
         return self._pair_hops
 
     def flit_hops(self, cls: Optional[MessageClass] = None) -> float:
@@ -187,10 +193,12 @@ class TrafficAccountant:
         Internal callers treat the returned array as read-only; the
         public :meth:`link_loads` hands out a copy.
         """
-        if self._dirty or self._channel_cache is None:
+        if (self._dirty or self._channel_cache is None
+                or self._cache_epoch != self.mesh.topology_epoch):
             total_pairs = sum(self._pair_flits.values())
             self._channel_cache = pair_channel_loads(self.mesh, total_pairs)
             self._dirty = False
+            self._cache_epoch = self.mesh.topology_epoch
         return self._channel_cache
 
     def link_loads(self) -> np.ndarray:
@@ -211,8 +219,11 @@ class TrafficAccountant:
 
     def _usable_link_count(self) -> int:
         w, h = self.mesh.width, self.mesh.height
-        # mesh links (both directions) plus inject/eject ports per tile
-        return 2 * ((w - 1) * h + (h - 1) * w) + 2 * w * h
+        # mesh links (both directions) plus inject/eject ports per tile,
+        # minus any links killed by fault injection (dead links are
+        # always chosen among the physical interior links)
+        return (2 * ((w - 1) * h + (h - 1) * w) + 2 * w * h
+                - len(self.mesh.dead_links))
 
     def utilization(self, cycles: float) -> float:
         """Average fraction of link-cycles carrying flits over ``cycles``."""

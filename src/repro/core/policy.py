@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.diagnostics import NoHealthyBankError
 from repro.arch.mesh import Mesh
 from repro.core.load import LoadTracker
 
@@ -43,7 +44,8 @@ class BankSelectPolicy(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def select(self, aff_banks: np.ndarray, load: LoadTracker, mesh: Mesh) -> int:
+    def select(self, aff_banks: np.ndarray, load: LoadTracker, mesh: Mesh,
+               mask: Optional[np.ndarray] = None) -> int:
         """Pick a bank.
 
         Args:
@@ -51,13 +53,18 @@ class BankSelectPolicy(abc.ABC):
                 (possibly empty).
             load: current per-bank irregular allocation counts.
             mesh: topology, for hop distances.
+            mask: optional boolean healthy-bank vector (chaos fault
+                injection); ``False`` banks are failed and must never be
+                chosen.  ``None`` (the healthy default) takes the exact
+                original scoring path.  Raises
+                :class:`NoHealthyBankError` when every bank is masked.
         """
 
     def reset(self) -> None:
         """Clear any per-run state (RNG position, round-robin counter)."""
 
     def select_batch(self, mean_hops: np.ndarray, load: LoadTracker,
-                     mesh: Mesh) -> np.ndarray:
+                     mesh: Mesh, mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Pick banks for ``n`` allocations issued back to back.
 
         Args:
@@ -67,8 +74,16 @@ class BankSelectPolicy(abc.ABC):
             load: the live tracker; implementations must update it as they
                 assign, since each choice shifts the balance term for the
                 next one.
+            mask: optional boolean healthy-bank vector; see :meth:`select`.
         """
         raise NotImplementedError
+
+    @staticmethod
+    def _healthy_indices(mask: np.ndarray) -> np.ndarray:
+        allowed = np.flatnonzero(mask)
+        if allowed.size == 0:
+            raise NoHealthyBankError("every candidate bank is failed/masked")
+        return allowed
 
 
 class RandomPolicy(BankSelectPolicy):
@@ -78,11 +93,19 @@ class RandomPolicy(BankSelectPolicy):
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def select(self, aff_banks, load, mesh) -> int:
+    def select(self, aff_banks, load, mesh, mask=None) -> int:
+        if mask is not None:
+            allowed = self._healthy_indices(mask)
+            return int(allowed[self._rng.integers(0, allowed.size)])
         return int(self._rng.integers(0, load.num_banks))
 
-    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
-        banks = self._rng.integers(0, load.num_banks, size=mean_hops.shape[0])
+    def select_batch(self, mean_hops, load, mesh, mask=None) -> np.ndarray:
+        if mask is not None:
+            allowed = self._healthy_indices(mask)
+            banks = allowed[self._rng.integers(0, allowed.size,
+                                               size=mean_hops.shape[0])]
+        else:
+            banks = self._rng.integers(0, load.num_banks, size=mean_hops.shape[0])
         for b, c in zip(*np.unique(banks, return_counts=True)):
             load.record(int(b), float(c))
         return banks.astype(np.int64)
@@ -97,14 +120,23 @@ class LinearPolicy(BankSelectPolicy):
     def __init__(self):
         self._next = 0
 
-    def select(self, aff_banks, load, mesh) -> int:
+    def select(self, aff_banks, load, mesh, mask=None) -> int:
+        if mask is not None:
+            allowed = self._healthy_indices(mask)
+            bank = int(allowed[self._next % allowed.size])
+            self._next = (self._next + 1) % load.num_banks
+            return bank
         bank = self._next
         self._next = (self._next + 1) % load.num_banks
         return bank
 
-    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
+    def select_batch(self, mean_hops, load, mesh, mask=None) -> np.ndarray:
         n = mean_hops.shape[0]
-        banks = (self._next + np.arange(n)) % load.num_banks
+        if mask is not None:
+            allowed = self._healthy_indices(mask)
+            banks = allowed[(self._next + np.arange(n)) % allowed.size]
+        else:
+            banks = (self._next + np.arange(n)) % load.num_banks
         self._next = int((self._next + n) % load.num_banks)
         for b, c in zip(*np.unique(banks, return_counts=True)):
             load.record(int(b), float(c))
@@ -123,7 +155,7 @@ class HybridPolicy(BankSelectPolicy):
         self.h = float(h)
         self.name = f"Hybrid-{h:g}" if h > 0 else "Min-Hop"
 
-    def select(self, aff_banks, load, mesh) -> int:
+    def select(self, aff_banks, load, mesh, mask=None) -> int:
         aff_banks = np.asarray(aff_banks, dtype=np.int64)
         nb = load.num_banks
         if aff_banks.size:
@@ -135,16 +167,20 @@ class HybridPolicy(BankSelectPolicy):
             avg_load = load.average
             if avg_load > 0:
                 score = score + self.h * (load.loads / avg_load - 1.0)
+        if mask is not None:
+            self._healthy_indices(mask)
+            score = np.where(mask, score, np.inf)
         return int(np.argmin(score))
 
-    def select_batch(self, mean_hops, load, mesh) -> np.ndarray:
+    def select_batch(self, mean_hops, load, mesh, mask=None) -> np.ndarray:
         """Sequential Eq. 4 over a batch, with the load updating as it goes.
 
         The loop is irreducible (every choice shifts the load the next
         choice sees), so the body is tuned instead: in-place ops into one
         scratch row — same operations in the same order, so bit-identical
         to the naive expression — and the ``ndarray.argmin`` method to
-        skip the ``np.argmin`` dispatch wrapper.
+        skip the ``np.argmin`` dispatch wrapper.  The masked (degraded)
+        variant is a separate loop so the healthy path stays untouched.
         """
         n, nb = mean_hops.shape
         loads = load.loads  # private working copy
@@ -152,18 +188,35 @@ class HybridPolicy(BankSelectPolicy):
         h = self.h
         total = loads.sum()
         score = np.empty(nb, dtype=np.float64)
-        for i in range(n):
-            if h > 0 and total > 0:
-                np.divide(loads, total / nb, out=score)
-                score -= 1.0
-                score *= h
-                score += mean_hops[i]
-                b = int(score.argmin())
-            else:
-                b = int(mean_hops[i].argmin())
-            out[i] = b
-            loads[b] += 1.0
-            total += 1.0
+        if mask is not None:
+            self._healthy_indices(mask)
+            penalty = np.where(np.asarray(mask, dtype=bool), 0.0, np.inf)
+            for i in range(n):
+                if h > 0 and total > 0:
+                    np.divide(loads, total / nb, out=score)
+                    score -= 1.0
+                    score *= h
+                    score += mean_hops[i]
+                    score += penalty
+                    b = int(score.argmin())
+                else:
+                    b = int((mean_hops[i] + penalty).argmin())
+                out[i] = b
+                loads[b] += 1.0
+                total += 1.0
+        else:
+            for i in range(n):
+                if h > 0 and total > 0:
+                    np.divide(loads, total / nb, out=score)
+                    score -= 1.0
+                    score *= h
+                    score += mean_hops[i]
+                    b = int(score.argmin())
+                else:
+                    b = int(mean_hops[i].argmin())
+                out[i] = b
+                loads[b] += 1.0
+                total += 1.0
         for b, c in zip(*np.unique(out, return_counts=True)):
             load.record(int(b), float(c))
         return out

@@ -28,10 +28,12 @@ from repro.analysis.diagnostics import (
     DoubleFreeError,
     LayoutError,
     OversizeError,
+    PoolExhaustedError,
     Severity,
     Site,
     UnknownAddressError,
 )
+from repro.faults.plan import FaultKind
 from repro.analysis.lifetime import AllocEvent
 from repro.core.affine import AffineLayout, LayoutKind, PoolSpace, solve_affine_layout
 from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
@@ -67,6 +69,8 @@ class AllocStats:
     irregular_allocs: int = 0
     paged_allocs: int = 0
     fallbacks: int = 0
+    degraded_allocs: int = 0       # served from a non-preferred pool
+    injected_alloc_faults: int = 0  # ALLOC_FAIL events that fired
     padded: int = 0
     frees: int = 0
     heap_frees: int = 0
@@ -156,6 +160,11 @@ class AffinityAllocator:
     # ------------------------------------------------------------------
     def malloc_affine(self, spec: AffineArray, name: str = "") -> ArrayHandle:
         """Allocate an affine array per its alignment constraints (Fig 8)."""
+        st = self.machine.faults
+        if st is not None:
+            ordinal = st.take_alloc_fault()
+            if ordinal is not None:
+                return self._affine_alloc_fault(spec, name, ordinal)
         layout = solve_affine_layout(spec, self.pools, self.mesh,
                                      self.machine.config.cache.line_bytes,
                                      self.machine.config.page_size)
@@ -168,13 +177,77 @@ class AffinityAllocator:
             handle.layout = layout
             self._records[handle.vaddr] = _AffineRecord(handle, layout)
         else:
-            if layout.kind is LayoutKind.POOL:
-                handle = self._alloc_pool(spec, layout, name)
-            else:
-                handle = self._alloc_paged(spec, layout, name)
+            try:
+                if layout.kind is LayoutKind.POOL:
+                    handle = self._alloc_pool(spec, layout, name)
+                else:
+                    handle = self._alloc_paged(spec, layout, name)
+            except PoolExhaustedError:
+                handle = self._affine_degraded(spec, layout, name)
             self.stats.affine_allocs += 1
         self._freed_affine.discard(handle.vaddr)
         self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
+        return handle
+
+    def _affine_alloc_fault(self, spec: AffineArray, name: str,
+                            ordinal: int) -> ArrayHandle:
+        """An armed ALLOC_FAIL ordinal fired: degrade to the baseline
+        heap, exactly what a failed ``malloc_aff`` falls back to."""
+        layout = AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
+                              reason="injected allocation failure",
+                              code="alloc-fault")
+        self.stats.fallbacks += 1
+        self.stats.injected_alloc_faults += 1
+        handle = alloc_plain_array(self.machine, spec.elem_size,
+                                   spec.num_elem, name=name)
+        handle.layout = layout
+        self._records[handle.vaddr] = _AffineRecord(handle, layout)
+        self.machine.faults.note(
+            FaultKind.ALLOC_FAIL, ordinal, "alloc-degraded",
+            f"affine array {name or hex(handle.vaddr)} fell back to the "
+            f"baseline heap")
+        self._freed_affine.discard(handle.vaddr)
+        self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
+        return handle
+
+    def _affine_degraded(self, spec: AffineArray, layout: AffineLayout,
+                         name: str) -> ArrayHandle:
+        """The chosen pool is exhausted: retry the array at every smaller
+        interleave (largest first — closest to the solver's choice), then
+        fall back to the baseline heap.  Smaller interleavings keep the
+        array's alignment sets intact (any divisor of the solved
+        interleave still satisfies Eq. 2's congruences), they just spread
+        each alignment class over more banks."""
+        st = self.machine.faults
+        for intrlv in sorted((g for g in self.pools.interleaves
+                              if g < layout.intrlv), reverse=True):
+            degraded = AffineLayout(
+                LayoutKind.POOL, intrlv, layout.start_bank, layout.stride,
+                reason=f"degraded from {layout.intrlv}B after pool "
+                       f"exhaustion", code="pool-degraded")
+            try:
+                handle = self._alloc_pool(spec, degraded, name)
+            except PoolExhaustedError:
+                continue
+            self.stats.degraded_allocs += 1
+            if st is not None:
+                st.note(FaultKind.POOL_EXHAUST, layout.intrlv,
+                        "pool-fallback",
+                        f"affine array {name or '?'} re-laid at "
+                        f"{intrlv}B interleave")
+            return handle
+        fallback = AffineLayout(LayoutKind.FALLBACK, 0, 0, spec.elem_size,
+                                reason="every interleave pool exhausted",
+                                code="pool-degraded")
+        self.stats.fallbacks += 1
+        handle = alloc_plain_array(self.machine, spec.elem_size,
+                                   spec.num_elem, name=name)
+        handle.layout = fallback
+        self._records[handle.vaddr] = _AffineRecord(handle, fallback)
+        if st is not None:
+            st.note(FaultKind.POOL_EXHAUST, layout.intrlv, "heap-fallback",
+                    f"affine array {name or '?'} fell back to the "
+                    f"baseline heap")
         return handle
 
     def _alloc_pool(self, spec: AffineArray, layout: AffineLayout,
@@ -245,16 +318,65 @@ class AffinityAllocator:
                 f"irregular allocation of {size}B exceeds the largest "
                 f"interleaving ({self.pools.interleaves[-1]}B); "
                 "use an affine allocation instead")
+        st = self.machine.faults
+        if st is not None:
+            ordinal = st.take_alloc_fault()
+            if ordinal is not None:
+                vaddr = self.machine.malloc(intrlv)
+                self.stats.fallbacks += 1
+                self.stats.injected_alloc_faults += 1
+                st.note(FaultKind.ALLOC_FAIL, ordinal, "alloc-degraded",
+                        "irregular allocation degraded to the baseline "
+                        "heap")
+                self._note_event("alloc", vaddr, intrlv, "irregular")
+                return vaddr
         if aff_addrs:
             aff_banks = self.machine.banks_of(np.asarray(list(aff_addrs), dtype=np.int64))
         else:
             aff_banks = np.empty(0, dtype=np.int64)
-        bank = self.policy.select(aff_banks, self.load, self.mesh)
-        vaddr = self._slot_pool(intrlv).alloc_on_bank(bank)
+        mask = st.policy_mask() if st is not None else None
+        if mask is not None:
+            bank = self.policy.select(aff_banks, self.load, self.mesh,
+                                      mask=mask)
+        else:
+            bank = self.policy.select(aff_banks, self.load, self.mesh)
+        try:
+            vaddr = self._slot_pool(intrlv).alloc_on_bank(bank)
+        except PoolExhaustedError:
+            return self._irregular_degraded(intrlv, bank)
         self.load.record(bank)
         paddr = self.machine.space.translate_one(vaddr)
         self.machine.llc.register_range(paddr, intrlv)
         self.stats.irregular_allocs += 1
+        self._note_event("alloc", vaddr, intrlv, "irregular")
+        return vaddr
+
+    def _irregular_degraded(self, intrlv: int, bank: int) -> int:
+        """The chosen pool is exhausted: irregular objects fit in any
+        slot >= their size, so retry the same bank in every *larger*
+        pool (wasting slack, never breaking Eq. 1), then degrade to the
+        baseline heap."""
+        st = self.machine.faults
+        for g in (g for g in self.pools.interleaves if g > intrlv):
+            try:
+                vaddr = self._slot_pool(g).alloc_on_bank(bank)
+            except PoolExhaustedError:
+                continue
+            self.load.record(bank)
+            paddr = self.machine.space.translate_one(vaddr)
+            self.machine.llc.register_range(paddr, g)
+            self.stats.irregular_allocs += 1
+            self.stats.degraded_allocs += 1
+            if st is not None:
+                st.note(FaultKind.POOL_EXHAUST, intrlv, "pool-fallback",
+                        f"irregular slot served from the {g}B pool")
+            self._note_event("alloc", vaddr, g, "irregular")
+            return vaddr
+        vaddr = self.machine.malloc(intrlv)
+        self.stats.fallbacks += 1
+        if st is not None:
+            st.note(FaultKind.POOL_EXHAUST, intrlv, "heap-fallback",
+                    "irregular allocation degraded to the baseline heap")
         self._note_event("alloc", vaddr, intrlv, "irregular")
         return vaddr
 
@@ -293,14 +415,66 @@ class AffinityAllocator:
             counts = np.bincount(alloc_ids, minlength=n).astype(np.float64)
             counts[counts == 0] = 1.0
             mean_hops /= counts[:, None]
-        chosen = self.policy.select_batch(mean_hops, self.load, self.mesh)
-        vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
-        self.machine.llc.register_by_banks(chosen, float(intrlv))
+        mask = self._fault_mask()
+        if mask is not None:
+            chosen = self.policy.select_batch(mean_hops, self.load,
+                                              self.mesh, mask=mask)
+        else:
+            chosen = self.policy.select_batch(mean_hops, self.load, self.mesh)
+        try:
+            vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
+        except PoolExhaustedError:
+            vaddrs = self._slots_degraded(intrlv, chosen)
+        else:
+            self.machine.llc.register_by_banks(chosen, float(intrlv))
         self.stats.irregular_allocs += n
         if self.events is not None:
             for va in vaddrs.tolist():
                 self._note_event("alloc", va, intrlv, "irregular")
         return vaddrs
+
+    def _fault_mask(self) -> Optional[np.ndarray]:
+        st = self.machine.faults
+        return st.policy_mask() if st is not None else None
+
+    def _slots_degraded(self, intrlv: int, chosen: np.ndarray) -> np.ndarray:
+        """Batch pool exhausted: serve each slot from the chosen bank in
+        the exact pool, then every larger pool, then the baseline heap
+        (mirrors :meth:`_irregular_degraded`, one object at a time)."""
+        st = self.machine.faults
+        pools_to_try = [g for g in self.pools.interleaves if g >= intrlv]
+        out = np.empty(chosen.size, dtype=np.int64)
+        pool_fb = heap_fb = 0
+        for i, bank in enumerate(np.asarray(chosen, dtype=np.int64).tolist()):
+            vaddr = None
+            for g in pools_to_try:
+                try:
+                    vaddr = self._slot_pool(g).alloc_on_bank(bank)
+                except PoolExhaustedError:
+                    continue
+                self.machine.llc.register_by_banks(
+                    np.asarray([bank], dtype=np.int64), float(g))
+                if g != intrlv:
+                    pool_fb += 1
+                break
+            if vaddr is None:
+                vaddr = self.machine.malloc(intrlv)
+                self.load.remove(bank)  # select_batch charged this bank
+                heap_fb += 1
+            out[i] = vaddr
+        if pool_fb:
+            self.stats.degraded_allocs += pool_fb
+            if st is not None:
+                st.note(FaultKind.POOL_EXHAUST, intrlv, "pool-fallback",
+                        f"{pool_fb} irregular slot(s) served from larger "
+                        f"pools")
+        if heap_fb:
+            self.stats.fallbacks += heap_fb
+            if st is not None:
+                st.note(FaultKind.POOL_EXHAUST, intrlv, "heap-fallback",
+                        f"{heap_fb} irregular slot(s) degraded to the "
+                        f"baseline heap")
+        return out
 
     def malloc_irregular_chained(self, size: int, prev_ids: np.ndarray,
                                  head_addrs: Optional[np.ndarray] = None) -> np.ndarray:
@@ -336,14 +510,23 @@ class AffinityAllocator:
             if valid.any():
                 head_banks[valid] = self.machine.banks_of(head_addrs[valid])
 
+        mask = self._fault_mask()
         if isinstance(self.policy, HybridPolicy):
-            chosen = self._chained_hybrid(prev_ids, head_banks, n, nb)
+            chosen = self._chained_hybrid(prev_ids, head_banks, n, nb,
+                                          mask=mask)
+        elif mask is not None:
+            chosen = self.policy.select_batch(np.zeros((n, nb)), self.load,
+                                              self.mesh, mask=mask)
         else:
             # Affinity-oblivious policies ignore the chain structure.
             chosen = self.policy.select_batch(np.zeros((n, nb)), self.load,
                                               self.mesh)
-        vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
-        self.machine.llc.register_by_banks(chosen, float(intrlv))
+        try:
+            vaddrs = self._slot_pool(intrlv).alloc_many_on_banks(chosen)
+        except PoolExhaustedError:
+            vaddrs = self._slots_degraded(intrlv, chosen)
+        else:
+            self.machine.llc.register_by_banks(chosen, float(intrlv))
         self.stats.irregular_allocs += n
         if self.events is not None:
             for va in vaddrs.tolist():
@@ -351,7 +534,8 @@ class AffinityAllocator:
         return vaddrs
 
     def _chained_hybrid(self, prev_ids: np.ndarray, head_banks: np.ndarray,
-                        n: int, nb: int) -> np.ndarray:
+                        n: int, nb: int,
+                        mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Sequential Eq. 4 selection where affinity banks come from the
         batch's own earlier choices."""
         dist = self.mesh.hops_to_all(np.arange(nb)).astype(np.float64)
@@ -363,28 +547,53 @@ class AffinityAllocator:
         # construction, so shave the per-iteration overhead — one scratch
         # row updated in place (bit-identical op order) and a running
         # total (loads holds integer-valued floats, so incrementing is
-        # exact) instead of an O(nb) sum per node.
+        # exact) instead of an O(nb) sum per node.  The masked (degraded)
+        # variant is a separate loop so the healthy path stays untouched.
         score = np.empty(nb, dtype=np.float64)
         total = loads.sum()
-        for i in range(n):
-            p = prev_ids[i]
-            if p >= 0:
-                hops_row = dist[:, chosen[p]]
-            elif head_banks[i] >= 0:
-                hops_row = dist[:, head_banks[i]]
-            else:
-                hops_row = zeros
-            if h > 0 and total > 0:
-                np.divide(loads, total / nb, out=score)
-                score -= 1.0
-                score *= h
-                score += hops_row
-                b = int(score.argmin())
-            else:
-                b = int(hops_row.argmin())
-            chosen[i] = b
-            loads[b] += 1.0
-            total += 1.0
+        if mask is not None:
+            BankSelectPolicy._healthy_indices(mask)  # raises if all failed
+            penalty = np.where(np.asarray(mask, dtype=bool), 0.0, np.inf)
+            for i in range(n):
+                p = prev_ids[i]
+                if p >= 0:
+                    hops_row = dist[:, chosen[p]]
+                elif head_banks[i] >= 0:
+                    hops_row = dist[:, head_banks[i]]
+                else:
+                    hops_row = zeros
+                if h > 0 and total > 0:
+                    np.divide(loads, total / nb, out=score)
+                    score -= 1.0
+                    score *= h
+                    score += hops_row
+                    score += penalty
+                    b = int(score.argmin())
+                else:
+                    b = int((hops_row + penalty).argmin())
+                chosen[i] = b
+                loads[b] += 1.0
+                total += 1.0
+        else:
+            for i in range(n):
+                p = prev_ids[i]
+                if p >= 0:
+                    hops_row = dist[:, chosen[p]]
+                elif head_banks[i] >= 0:
+                    hops_row = dist[:, head_banks[i]]
+                else:
+                    hops_row = zeros
+                if h > 0 and total > 0:
+                    np.divide(loads, total / nb, out=score)
+                    score -= 1.0
+                    score *= h
+                    score += hops_row
+                    b = int(score.argmin())
+                else:
+                    b = int(hops_row.argmin())
+                chosen[i] = b
+                loads[b] += 1.0
+                total += 1.0
         for b, c in zip(*np.unique(chosen, return_counts=True)):
             self.load.record(int(b), float(c))
         return chosen

@@ -1,0 +1,280 @@
+"""``python -m repro chaos`` — clean-vs-faulted runs + degradation report.
+
+For every requested workload the runner executes a *clean* run and a
+*faulted* run (same mode, scale, and seed; the faulted one inside a
+:func:`~repro.faults.injector.fault_session`), then reports how
+gracefully the system degraded: slowdown, extra NoC flit-hops, achieved
+stream locality, and the retry/fallback counts from the fault event log.
+
+Determinism contract (pinned by ``tests/test_chaos_golden.py``):
+
+* the same ``(plan, workloads, mode, scale, seed)`` produces an
+  identical event log and degradation report, for ``--jobs 1`` and
+  ``--jobs N`` alike — per-task logs are collected in the workers and
+  merged in task order, never completion order;
+* WORKER_CRASH events crash the worker *before* it computes; the parent
+  restarts it (capped), so crashes change the report only by their
+  ``crash``/``restart`` records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.diagnostics import WorkerCrashError
+from repro.faults.injector import fault_session
+from repro.faults.log import FaultEventLog, FaultRecord
+from repro.faults.plan import FaultKind, FaultPlan
+
+__all__ = ["ChaosReport", "run_chaos", "cli"]
+
+#: Small, fast defaults covering both paper families: one affine kernel
+#: (vecadd, Fig 4) and one graph kernel (pr_push, Fig 12).
+DEFAULT_WORKLOADS = ("vecadd", "pr_push")
+
+_MAX_TASK_RESTARTS = 3
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+def _chaos_task(name: str, mode_name: str, scale: float, seed: int,
+                plan_json: str, crash: bool) -> Dict:
+    """One workload's clean + faulted pair (runs in this or a worker
+    process).  Returns plain data only, so results pickle and merge
+    identically whatever the process layout."""
+    if crash:
+        raise WorkerCrashError(name)
+    from repro.nsc.engine import EngineMode
+    from repro.workloads.base import run_workload
+
+    mode = EngineMode[mode_name]
+    plan = FaultPlan.from_json(plan_json)
+
+    clean = run_workload(name, mode, scale=scale, seed=seed)
+    log = FaultEventLog()
+    with fault_session(plan, log, task=name) as session:
+        faulted = run_workload(name, mode, scale=scale, seed=seed)
+        session.finalize()
+        retries = sum(s.retries for s in session.states)
+        host_fb = sum(s.host_fallbacks for s in session.states)
+
+    def _metrics(r) -> Dict:
+        elems = r.counters.get("stream_elem_accesses", 0.0)
+        remote = r.counters.get("stream_remote_accesses", 0.0)
+        return {"cycles": r.cycles,
+                "flit_hops": r.total_flit_hops,
+                "l3_miss_pct": r.l3_miss_pct,
+                "locality": (1.0 - remote / elems) if elems > 0 else 1.0}
+
+    return {"workload": name,
+            "clean": _metrics(clean),
+            "faulted": _metrics(faulted),
+            "retries": retries,
+            "host_fallbacks": host_fb,
+            "records": [r.to_dict() for r in log.records]}
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """Aggregate of one :func:`run_chaos` invocation."""
+
+    plan: FaultPlan
+    mode: str
+    scale: float
+    seed: int
+    rows: List[Dict] = field(default_factory=list)
+    log: FaultEventLog = field(default_factory=FaultEventLog)
+    restarts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def unhandled_count(self) -> int:
+        return self.log.count("unhandled")
+
+    def to_dict(self) -> Dict:
+        return {"plan": json.loads(self.plan.to_json()),
+                "mode": self.mode, "scale": self.scale, "seed": self.seed,
+                "rows": self.rows,
+                "restarts": dict(sorted(self.restarts.items())),
+                "handled_faults": self.log.handled_count(),
+                "unhandled_faults": self.unhandled_count}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
+
+    def render(self) -> str:
+        from repro.harness.report import ascii_table
+        headers = ["workload", "slowdown", "extra hops", "locality clean",
+                   "locality faulted", "retries", "host-fb", "restarts"]
+        table_rows = []
+        for row in self.rows:
+            c, f = row["clean"], row["faulted"]
+            slowdown = (f["cycles"] / c["cycles"]) if c["cycles"] else 1.0
+            table_rows.append([
+                row["workload"], f"{slowdown:.2f}x",
+                f"{f['flit_hops'] - c['flit_hops']:.0f}",
+                f"{c['locality']:.3f}", f"{f['locality']:.3f}",
+                row["retries"], row["host_fallbacks"],
+                self.restarts.get(row["workload"], 0)])
+        lines = [str(self.plan), "",
+                 "== Degradation report ==",
+                 ascii_table(headers, table_rows), "",
+                 "== Fault event log ==",
+                 self.log.render(), "",
+                 f"handled: {self.log.handled_count()}  "
+                 f"unhandled: {self.unhandled_count}"]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def run_chaos(workloads: Sequence[str], plan: FaultPlan,
+              mode: str = "AFF_ALLOC", scale: float = 0.05, seed: int = 0,
+              jobs: int = 1,
+              progress: Optional[Callable[[str], None]] = None) -> ChaosReport:
+    """Run clean-vs-faulted pairs for every workload under one plan.
+
+    WORKER_CRASH events are consumed here (budget mapped over the
+    workload list by ordinal); all other events ride into the workers
+    via the serialized plan and apply inside each task's fault session.
+    """
+    notify = progress or (lambda line: None)
+    plan_json = plan.to_json()
+    crashes = plan.crash_budget(list(workloads))
+    jobs = max(1, int(jobs))
+
+    results: Dict[str, Dict] = {}
+    restarts: Dict[str, int] = {}
+
+    def _attempt_loop(run_once: Callable[[bool], Dict], name: str) -> Dict:
+        remaining = crashes.get(name, 0)
+        attempt = 0
+        while True:
+            try:
+                return run_once(remaining > 0)
+            except WorkerCrashError:
+                remaining -= 1
+                attempt += 1
+                restarts[name] = restarts.get(name, 0) + 1
+                if attempt > _MAX_TASK_RESTARTS:
+                    raise
+                notify(f"[restart] {name} worker crashed (injected); "
+                       f"restart {attempt}/{_MAX_TASK_RESTARTS}")
+
+    if jobs == 1 or len(workloads) <= 1:
+        for name in workloads:
+            results[name] = _attempt_loop(
+                lambda c, n=name: _chaos_task(n, mode, scale, seed,
+                                              plan_json, c), name)
+            notify(f"[done] {name}")
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(workloads))) as pool:
+            remaining = dict(crashes)
+            attempts: Dict[str, int] = {}
+            futs = {pool.submit(_chaos_task, name, mode, scale, seed,
+                                plan_json, remaining.get(name, 0) > 0): name
+                    for name in workloads}
+            while futs:
+                fut = next(as_completed(futs))
+                name = futs.pop(fut)
+                try:
+                    results[name] = fut.result()
+                except WorkerCrashError:
+                    remaining[name] = remaining.get(name, 0) - 1
+                    attempts[name] = attempts.get(name, 0) + 1
+                    restarts[name] = restarts.get(name, 0) + 1
+                    if attempts[name] > _MAX_TASK_RESTARTS:
+                        raise
+                    notify(f"[restart] {name} worker crashed (injected); "
+                           f"restart {attempts[name]}/{_MAX_TASK_RESTARTS}")
+                    futs[pool.submit(_chaos_task, name, mode, scale, seed,
+                                     plan_json,
+                                     remaining.get(name, 0) > 0)] = name
+                    continue
+                notify(f"[done] {name}")
+
+    # Merge in task order (never completion order) so jobs=1 and jobs=N
+    # produce identical logs and reports.
+    log = FaultEventLog()
+    rows: List[Dict] = []
+    for name in workloads:
+        r = results[name]
+        for _ in range(restarts.get(name, 0)):
+            log.add(FaultRecord(task=name, kind=FaultKind.WORKER_CRASH.value,
+                                target=name, action="crash",
+                                detail="injected worker crash"))
+            log.add(FaultRecord(task=name, kind=FaultKind.WORKER_CRASH.value,
+                                target=name, action="restart",
+                                detail="harness restarted the worker"))
+        for rec in r["records"]:
+            log.add(FaultRecord.from_dict(rec))
+        rows.append({k: r[k] for k in ("workload", "clean", "faulted",
+                                       "retries", "host_fallbacks")})
+    return ChaosReport(plan=plan, mode=mode, scale=scale, seed=seed,
+                       rows=rows, log=log, restarts=restarts)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def cli(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Deterministic fault injection: run workloads under a "
+                    "fault plan and report graceful degradation.")
+    parser.add_argument("workloads", nargs="*", default=[],
+                        help=f"workload names (default: "
+                             f"{', '.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--plan", type=Path, default=None,
+                        help="JSON fault plan file (overrides --seed/--rate)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="plan-generation / run seed (default 0)")
+    parser.add_argument("--rate", type=float, default=0.05,
+                        help="per-resource fault probability for generated "
+                             "plans (default 0.05)")
+    parser.add_argument("--mode", default="AFF_ALLOC",
+                        choices=["IN_CORE", "NEAR_L3", "AFF_ALLOC"],
+                        help="engine mode for the runs (default AFF_ALLOC)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale (default 0.05)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--save-log", type=Path, default=None,
+                        help="write the fault event log JSON here")
+    parser.add_argument("--save-report", type=Path, default=None,
+                        help="write the degradation report JSON here")
+    args = parser.parse_args(argv)
+
+    workloads = args.workloads or list(DEFAULT_WORKLOADS)
+    from repro.workloads import WORKLOADS
+    bad = [w for w in workloads if w not in WORKLOADS]
+    if bad:
+        parser.error(f"unknown workload(s): {', '.join(bad)}; "
+                     f"try 'python -m repro list'")
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = FaultPlan.generate(args.seed, args.rate, tasks=len(workloads))
+
+    report = run_chaos(workloads, plan, mode=args.mode, scale=args.scale,
+                       seed=args.seed, jobs=args.jobs, progress=print)
+    print(report.render())
+    if args.save_log is not None:
+        report.log.save(args.save_log)
+        print(f"fault log -> {args.save_log}")
+    if args.save_report is not None:
+        args.save_report.write_text(report.to_json(), encoding="utf-8")
+        print(f"degradation report -> {args.save_report}")
+    if report.unhandled_count:
+        print(f"ERROR: {report.unhandled_count} unhandled fault event(s)")
+        return 1
+    return 0

@@ -113,14 +113,21 @@ def _config_fingerprint() -> str:
 # Worker
 # ----------------------------------------------------------------------
 def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
-             cache_dir: Optional[str]) -> Dict:
+             cache_dir: Optional[str], crash: bool = False) -> Dict:
     """Run one experiment (in this or a worker process) → plain dict.
 
     Figure-level results are cached post-sanitization under a key derived
     from (id, scale, seed, config fingerprint, generator version); a hit
     skips the whole experiment.  ``use_cache=False`` bypasses both the
     figure cache and the graph cache underneath.
+
+    ``crash=True`` injects a WORKER_CRASH fault: the worker dies here,
+    before computing or touching the cache, and the parent's restart
+    logic is exercised exactly as if the process had been OOM-killed.
     """
+    if crash:
+        from repro.analysis.diagnostics import WorkerCrashError
+        raise WorkerCrashError(fid)
     t0 = time.perf_counter()
     cache = get_cache()
     if cache_dir is not None and Path(cache_dir) != cache.root:
@@ -241,11 +248,18 @@ def _preflight_lint(scale: float, notify: Callable[[str], None]) -> None:
         raise LintFailure(result.report)
 
 
+#: Restarts granted per experiment before an injected worker crash is
+#: allowed to propagate (a crash budget beyond this is a plan bug, not a
+#: degradation scenario).
+_MAX_WORKER_RESTARTS = 3
+
+
 def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 seed: int = 0, use_cache: bool = True,
                 results_dir: Optional[os.PathLike] = None,
                 preflight: bool = True,
-                progress: Optional[Callable[[str], None]] = None) -> RunReport:
+                progress: Optional[Callable[[str], None]] = None,
+                fault_plan=None) -> RunReport:
     """Run experiments by id, optionally fanned across a process pool.
 
     Args:
@@ -263,6 +277,15 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             out; errors abort the run with
             :class:`repro.analysis.diagnostics.LintFailure`.
         progress: callback for human-readable per-figure progress lines.
+        fault_plan: optional :class:`repro.faults.plan.FaultPlan`.  The
+            harness consumes only its WORKER_CRASH events (machine-level
+            faults belong to ``python -m repro chaos``, which controls
+            the per-run fault session — consuming them here would poison
+            the shared figure cache): each budgeted crash kills the
+            worker before it computes, and the parent restarts it, up to
+            ``_MAX_WORKER_RESTARTS`` per experiment.  An empty/None plan
+            leaves every code path and the metrics JSON byte-identical
+            to a plain run.
 
     Returns:
         A :class:`RunReport`; ``report.figures`` preserves ``ids`` order
@@ -279,23 +302,63 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
     cache_dir = str(get_cache().root)
     t_start = time.perf_counter()
 
+    crashes: Dict[str, int] = {}
+    if fault_plan is not None and fault_plan.events:
+        crashes = fault_plan.crash_budget(list(ids))
+    from repro.analysis.diagnostics import WorkerCrashError
+
+    def _note_restart(fid: str, attempt: int) -> None:
+        notify(f"[restart] {fid} worker crashed (injected); "
+               f"restart {attempt}/{_MAX_WORKER_RESTARTS}")
+
     done: Dict[str, Dict] = {}
     total = len(ids)
     if jobs == 1 or total <= 1:
         for i, fid in enumerate(ids):
-            r = _run_one(fid, scale, seed, use_cache, None)
+            remaining = crashes.get(fid, 0)
+            attempt = 0
+            while True:
+                try:
+                    r = _run_one(fid, scale, seed, use_cache, None,
+                                 crash=remaining > 0)
+                except WorkerCrashError:
+                    remaining -= 1
+                    attempt += 1
+                    if attempt > _MAX_WORKER_RESTARTS:
+                        raise
+                    _note_restart(fid, attempt)
+                    continue
+                break
             done[fid] = r
             notify(f"[{i + 1}/{total}] {fid:<12} "
                    f"{'cache hit' if r['from_cache'] else 'computed'} "
                    f"in {r['wall_s']:.1f}s")
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+            remaining = dict(crashes)
+            attempts: Dict[str, int] = {}
             futs = {pool.submit(_run_one, fid, scale, seed, use_cache,
-                                cache_dir): fid for fid in ids}
-            for i, fut in enumerate(as_completed(futs)):
-                r = fut.result()
+                                cache_dir, remaining.get(fid, 0) > 0): fid
+                    for fid in ids}
+            completed = 0
+            while futs:
+                fut = next(as_completed(futs))
+                fid = futs.pop(fut)
+                try:
+                    r = fut.result()
+                except WorkerCrashError:
+                    remaining[fid] = remaining.get(fid, 0) - 1
+                    attempts[fid] = attempts.get(fid, 0) + 1
+                    if attempts[fid] > _MAX_WORKER_RESTARTS:
+                        raise
+                    _note_restart(fid, attempts[fid])
+                    futs[pool.submit(_run_one, fid, scale, seed, use_cache,
+                                     cache_dir,
+                                     remaining.get(fid, 0) > 0)] = fid
+                    continue
                 done[r["id"]] = r
-                notify(f"[{i + 1}/{total}] {r['id']:<12} "
+                completed += 1
+                notify(f"[{completed}/{total}] {r['id']:<12} "
                        f"{'cache hit' if r['from_cache'] else 'computed'} "
                        f"in {r['wall_s']:.1f}s")
 

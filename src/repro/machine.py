@@ -87,6 +87,12 @@ class Machine:
                                  config.page_size,
                                  interleaves=config.pool_interleaves)
 
+        # Chaos fault injection: populated by FaultSession.attach (see
+        # repro.faults.injector); None on the healthy path, and every
+        # layer's fault hook is gated on that None so clean runs execute
+        # the exact original instruction stream.
+        self.faults = None
+
     # ------------------------------------------------------------------
     @property
     def num_banks(self) -> int:

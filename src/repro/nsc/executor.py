@@ -154,11 +154,39 @@ class StreamExecutor:
         self.hop_latency = float(machine.config.noc.hop_latency)
 
     # ------------------------------------------------------------------
+    # Fault-injection hooks (no-ops on the healthy path)
+    # ------------------------------------------------------------------
+    def _faults(self):
+        """Arm run-phase faults (first primitive wins) and return the
+        machine's FaultState, or None when no chaos session is active."""
+        st = self.machine.faults
+        if st is not None:
+            st.activate_run_phase(self.machine)
+        return st
+
+    def _offloads(self, st, *banks_arrays) -> bool:
+        """Effective offload decision for one primitive: the engine mode,
+        degraded by host fallback when an operand stream touches a
+        failed, non-re-homed bank (bounded retries are charged)."""
+        if not self.mode.offloads:
+            return False
+        if st is None or not st.no_rehome:
+            return True
+        return not st.blocks_offload(banks_arrays, self.rec,
+                                     self.machine.num_cores)
+
+    # ------------------------------------------------------------------
     # Small shared helpers
     # ------------------------------------------------------------------
     def _banks_and_lines(self, handle, idx: np.ndarray):
         addrs = handle.addr_of(idx)
         paddrs = self.machine.translate(addrs)
+        st = self.machine.faults
+        if st is not None and st.pending_touch and self.mode.offloads:
+            # Raw (pre-remap) banks still show the failed ids; the first
+            # offloaded touch of each re-homed bank pays the retry storm.
+            st.check_first_touch(self.machine.llc.banks_of(paddrs, raw=True),
+                                 self.rec, self.machine.num_cores)
         banks = self.machine.llc.banks_of(paddrs)
         if self._line_shift is not None:
             lines = paddrs >> self._line_shift
@@ -260,10 +288,12 @@ class StreamExecutor:
         n = cores.size
         if n == 0:
             return
+        st = self._faults()
         in_bl = [self._banks_and_lines(h, np.asarray(i)) for h, i in ins]
         out_bl = self._banks_and_lines(out[0], np.asarray(out[1])) if out else None
 
-        if not self.mode.offloads:
+        if not self._offloads(st, *(bl[0] for bl in in_bl),
+                              out_bl[0] if out_bl else None):
             # Private caches keep lines shared between input streams of the
             # same array hot (e.g. the three row-offset streams of a
             # stencil): fetch each distinct (core, handle, line) once.
@@ -364,9 +394,10 @@ class StreamExecutor:
         the index structure); ``target`` is the pointed-to data.
         """
         cores = np.asarray(cores, dtype=np.int64)
+        st = self._faults()
         b_banks, _b_lines = self._banks_and_lines(base[0], np.asarray(base[1]))
         t_banks, t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
-        if not self.mode.offloads:
+        if not self._offloads(st, b_banks, t_banks):
             # Private caches keep hot target lines, limited by capacity.
             first, mult, _miss = self._capacity_filter(cores, t_lines)
             c, b = cores[first], t_banks[first]
@@ -396,9 +427,10 @@ class StreamExecutor:
                         ops_per_elem: float = 1.0, repeat: float = 1.0) -> None:
         """Push-style ``atomic_op(target[f(base[i])])`` — no value returns."""
         cores = np.asarray(cores, dtype=np.int64)
+        st = self._faults()
         b_banks, _ = self._banks_and_lines(base[0], np.asarray(base[1]))
         t_banks, _t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
-        if not self.mode.offloads:
+        if not self._offloads(st, b_banks, t_banks):
             # Coherence ping-pong: every atomic pulls the line exclusive
             # (request + line) and hands it off again (line out).
             self.rec.traffic.record(cores, t_banks, 0, MessageClass.CONTROL,
@@ -440,13 +472,17 @@ class StreamExecutor:
         chain_cores = np.asarray(chain_cores, dtype=np.int64)
         if node_vaddrs.size == 0:
             return
+        st = self._faults()
         paddrs = self.machine.translate(node_vaddrs)
+        if st is not None and st.pending_touch and self.mode.offloads:
+            st.check_first_touch(self.machine.llc.banks_of(paddrs, raw=True),
+                                 self.rec, self.machine.num_cores)
         banks = self.machine.llc.banks_of(paddrs)
         cores = chain_cores[chain_ids]
         nchains = chain_cores.size
         all_cores = np.arange(self.machine.num_cores)
 
-        if not self.mode.offloads:
+        if not self._offloads(st, banks):
             # Every node is a dependent round trip core <-> bank, except
             # the hot top of the structure (tree roots, list heads) that
             # the private cache retains across chains.
@@ -520,7 +556,8 @@ class StreamExecutor:
         src_banks = np.asarray(src_banks, dtype=np.int64)
         tail_banks = np.asarray(tail_banks, dtype=np.int64)
         slot_banks = np.asarray(slot_banks, dtype=np.int64)
-        if not self.mode.offloads:
+        st = self._faults()
+        if not self._offloads(st, src_banks, tail_banks, slot_banks):
             # tail counter: coherence atomic; slot store: write-allocate
             self.rec.traffic.record(cores, tail_banks, 0, MessageClass.CONTROL)
             self.rec.traffic.record(tail_banks, cores, self.line, MessageClass.DATA)

@@ -43,6 +43,10 @@ class InterleavePool:
         self.page_size = page_size
         self._backed = 0  # bytes of physical backing (watermark)
         self.expansions = 0  # number of expand "syscalls" issued
+        # Fault injection: a pool-exhaustion fault caps the number of
+        # expand syscalls the "OS" will grant this pool (None = only the
+        # virtual reservation limits growth, the healthy behaviour).
+        self.max_expansions: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -86,6 +90,10 @@ class InterleavePool:
         """
         if nbytes <= 0:
             raise ValueError("expansion must be positive")
+        if self.max_expansions is not None and self.expansions >= self.max_expansions:
+            raise PoolExhaustedError(
+                f"interleave pool {self.intrlv}B hit its injected expansion "
+                f"cap ({self.max_expansions})")
         nbytes = align_up(nbytes, self.page_size)
         new_end = self._backed + nbytes
         if self.vbase + new_end > self.vrange.end:

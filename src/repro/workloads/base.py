@@ -21,6 +21,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
 from repro.core.policy import BankSelectPolicy, HybridPolicy
 from repro.core.runtime import AffinityAllocator
+from repro.faults.injector import active_fault_session
 from repro.machine import Machine
 from repro.nsc.engine import EngineMode
 from repro.nsc.executor import StreamExecutor
@@ -83,6 +84,13 @@ def make_context(mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
     """
     heap_mode = "linear" if mode.affinity_aware else "random"
     machine = Machine(config, heap_mode=heap_mode, seed=seed)
+    session = active_fault_session()
+    if session is not None:
+        # Chaos fault injection: boot-phase faults (pool caps, armed
+        # alloc ordinals, boot bank/link failures) apply here, before
+        # any allocation; run-phase faults arm and fire at the first
+        # executor primitive.
+        session.attach(machine)
     recorder = RunRecorder(machine)
     executor = StreamExecutor(machine, recorder, mode)
     allocator = None

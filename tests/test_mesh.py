@@ -117,3 +117,75 @@ class TestLinkLoads:
         loads = mesh.link_loads(src, dst, np.ones(8))
         assert loads[east].sum() == 8.0
         assert loads[west].sum() == 0.0
+
+
+class TestDegradedRouting:
+    """Chaos link failures: routing reroutes, epochs bump, memos re-key."""
+
+    def test_link_removal_changes_routing(self, mesh):
+        before = mesh.route_links(9, 10)
+        assert len(before) == 1
+        mesh.remove_link_between(9, 10)
+        after = mesh.route_links(9, 10)
+        assert after != before
+        assert len(after) == 3  # shortest detour around the dead link
+        assert set(after).isdisjoint(mesh.dead_links)
+        assert mesh.hops(np.array([9]), np.array([10]))[0] == 3
+
+    def test_epoch_bumps_once_and_removal_is_idempotent(self, mesh):
+        assert mesh.topology_epoch == 0
+        mesh.remove_link_between(9, 10)
+        assert mesh.topology_epoch == 1
+        mesh.remove_link_between(9, 10)   # already dead
+        mesh.remove_link_between(10, 9)   # same physical link
+        assert mesh.topology_epoch == 1
+        assert len(mesh.dead_links) == 2  # one directed pair
+
+    def test_incidence_memo_rekeyed_not_poisoned(self):
+        a = Mesh(8, 8)
+        pristine = a.routing_incidence()
+        a.remove_link_between(9, 10)
+        degraded = a.routing_incidence()
+        assert degraded is not pristine
+        # the pristine topology's memo entry survives: a fresh mesh
+        # (same geometry, no dead links) must still hit it
+        assert Mesh(8, 8).routing_incidence() is pristine
+        # and the degraded mesh keeps its own entry on repeat lookups
+        assert a.routing_incidence() is degraded
+
+    def test_link_loads_route_around_dead_link(self, mesh):
+        fwd, rev = mesh._directed_pair_links(9, 10)
+        mesh.remove_link_between(9, 10)
+        loads = mesh.link_loads(np.array([9]), np.array([10]),
+                                np.array([2.0]))
+        assert loads[fwd] == 0.0 and loads[rev] == 0.0
+        assert loads.sum() == 6.0  # 3-hop detour x weight 2
+
+    def test_refuses_disconnecting_removal(self, mesh):
+        from repro.analysis.diagnostics import TopologyError
+        # tile 0's only links go to tile 1 (east) and tile 8 (south)
+        mesh.remove_link_between(0, 1)
+        with pytest.raises(TopologyError):
+            mesh.remove_link_between(0, 8)
+        # the refused removal left the topology untouched
+        assert mesh.topology_epoch == 1
+        assert mesh.hops(np.array([0]), np.array([8]))[0] == 1
+
+    def test_non_neighbors_raise(self, mesh):
+        from repro.analysis.diagnostics import TopologyError
+        with pytest.raises(TopologyError):
+            mesh.remove_link_between(0, 9)
+
+    def test_degraded_hops_match_route_lengths(self, mesh):
+        mesh.remove_link_between(9, 10)
+        mesh.remove_link_between(27, 35)
+        for src, dst in [(9, 10), (0, 63), (27, 35), (8, 15)]:
+            assert len(mesh.route_links(src, dst)) == \
+                mesh.hops(np.array([src]), np.array([dst]))[0]
+
+    def test_undirected_interior_links_enumerates_all(self, mesh):
+        pairs = mesh.undirected_interior_links()
+        # 8x8 mesh: 7 links per row x 8 rows, both orientations
+        assert len(pairs) == 2 * 7 * 8
+        assert pairs == sorted(pairs)
+        assert all(a < b for a, b in pairs)

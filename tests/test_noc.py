@@ -106,3 +106,36 @@ class TestUtilization:
         merged = acct.merged_with(other)
         assert merged.message_count() == 2.0
         assert acct.message_count() == 1.0  # originals untouched
+
+
+class TestDegradedTopology:
+    """Accountant memos must follow the mesh's topology epoch."""
+
+    def test_hops_recomputed_after_link_removal(self):
+        mesh = Mesh(8, 8)
+        acct = TrafficAccountant(mesh, NocConfig())
+        acct.record(9, 10, 0, MessageClass.CONTROL)
+        assert acct.flit_hops() == 1.0
+        mesh.remove_link_between(9, 10)
+        # same recorded traffic, new topology: the memoized hop table
+        # is invalid and the 3-hop detour must show up
+        assert acct.flit_hops() == 3.0
+
+    def test_usable_links_shrink_with_dead_links(self):
+        mesh = Mesh(8, 8)
+        acct = TrafficAccountant(mesh, NocConfig())
+        n0 = acct._usable_link_count()
+        mesh.remove_link_between(9, 10)
+        assert acct._usable_link_count() == n0 - 2
+
+    def test_channel_loads_rekeyed_after_removal(self):
+        mesh = Mesh(8, 8)
+        acct = TrafficAccountant(mesh, NocConfig())
+        acct.record(9, 10, 64, MessageClass.DATA)
+        before = acct.max_link_load()
+        mesh.remove_link_between(9, 10)
+        after = acct.max_link_load()
+        assert before > 0 and after > 0
+        # the flits now traverse different links
+        dead = mesh.dead_links
+        assert all(acct.link_loads()[link] == 0.0 for link in dead)

@@ -144,3 +144,61 @@ class TestByName:
     def test_unknown(self):
         with pytest.raises(ValueError):
             policy_by_name("Magic")
+
+
+class TestMaskedSelection:
+    """Degraded (chaos) bank selection: failed banks are never chosen."""
+
+    MASKED = (3, 17, 40)
+
+    @pytest.fixture
+    def mask(self):
+        mask = np.ones(64, dtype=bool)
+        mask[list(self.MASKED)] = False
+        return mask
+
+    @pytest.mark.parametrize("make", [
+        lambda: RandomPolicy(seed=0), LinearPolicy, MinHopPolicy,
+        lambda: HybridPolicy(3.0)])
+    def test_select_avoids_masked_banks(self, mesh, load, mask, make):
+        pol = make()
+        aff = np.array([3, 3, 17])  # affinity pinned on failed banks
+        picks = {pol.select(aff, load, mesh, mask=mask) for _ in range(64)}
+        assert picks.isdisjoint(self.MASKED)
+
+    @pytest.mark.parametrize("make", [
+        lambda: RandomPolicy(seed=0), LinearPolicy, MinHopPolicy,
+        lambda: HybridPolicy(3.0)])
+    def test_select_batch_avoids_masked_banks(self, mesh, load, mask, make):
+        chosen = make().select_batch(np.zeros((100, 64)), load, mesh,
+                                     mask=mask)
+        assert set(chosen.tolist()).isdisjoint(self.MASKED)
+        assert load.total == 100.0  # load accounting unchanged
+
+    @pytest.mark.parametrize("make", [
+        lambda: RandomPolicy(seed=0), LinearPolicy, MinHopPolicy,
+        lambda: HybridPolicy(3.0)])
+    def test_all_masked_raises(self, mesh, load, make):
+        from repro.analysis.diagnostics import NoHealthyBankError
+        none_healthy = np.zeros(64, dtype=bool)
+        with pytest.raises(NoHealthyBankError):
+            make().select(np.empty(0), load, mesh, mask=none_healthy)
+        with pytest.raises(NoHealthyBankError):
+            make().select_batch(np.zeros((2, 64)), load, mesh,
+                                mask=none_healthy)
+
+    def test_hybrid_balances_load_over_healthy_banks(self, mesh, load, mask):
+        chosen = HybridPolicy(7.0).select_batch(np.zeros((610, 64)), load,
+                                                mesh, mask=mask)
+        counts = np.bincount(chosen, minlength=64)
+        assert (counts[list(self.MASKED)] == 0).all()
+        healthy = np.flatnonzero(mask)
+        assert counts[healthy].min() >= 1  # every healthy bank used
+
+    def test_no_mask_path_untouched(self, mesh, load):
+        """mask=None must take the original scoring path bit for bit."""
+        a = HybridPolicy(3.0).select_batch(np.zeros((50, 64)),
+                                           LoadTracker(64), mesh)
+        b = HybridPolicy(3.0).select_batch(np.zeros((50, 64)),
+                                           LoadTracker(64), mesh, mask=None)
+        assert (a == b).all()

@@ -114,3 +114,45 @@ class TestSlotPool:
         sp = SlotPool(machine.pools, 64)
         with pytest.raises(ValueError):
             sp.alloc_on_bank(64)
+
+
+class TestExpansionCaps:
+    """Chaos pool-exhaustion injection: the max_expansions cap."""
+
+    def test_cap_zero_blocks_first_expansion(self, machine):
+        from repro.analysis.diagnostics import PoolExhaustedError
+        machine.pools.pool(64).max_expansions = 0
+        sp = SlotPool(machine.pools, 64)
+        with pytest.raises(PoolExhaustedError):
+            sp.alloc_on_bank(0)
+
+    def test_cap_counts_expand_syscalls(self, machine):
+        from repro.analysis.diagnostics import PoolExhaustedError
+        pool = machine.pools.pool(64)
+        pool.max_expansions = 1
+        sp = SlotPool(machine.pools, 64)
+        va = sp.alloc_on_bank(5)          # first expansion succeeds
+        assert pool.expansions == 1
+        assert sp.bank_of(va) == 5
+        # one expansion backs slots_per_bank_per_expand slots per bank;
+        # draining a bank forces a second expansion, which the cap blocks
+        for _ in range(sp.slots_per_bank_per_expand - 1):
+            sp.alloc_on_bank(5)
+        with pytest.raises(PoolExhaustedError):
+            sp.alloc_on_bank(5)
+        assert pool.expansions == 1       # the refused call burned nothing
+
+    def test_batched_alloc_surfaces_exhaustion(self, machine):
+        from repro.analysis.diagnostics import PoolExhaustedError
+        machine.pools.pool(64).max_expansions = 0
+        sp = SlotPool(machine.pools, 64)
+        with pytest.raises(PoolExhaustedError):
+            sp.alloc_many_on_banks(np.array([1, 2, 3]))
+
+    def test_uncapped_pool_unaffected(self, machine):
+        pool = machine.pools.pool(64)
+        assert pool.max_expansions is None
+        sp = SlotPool(machine.pools, 64)
+        for _ in range(3 * sp.slots_per_bank_per_expand):
+            sp.alloc_on_bank(9)           # several expansions, no cap
+        assert pool.expansions >= 3

@@ -187,3 +187,69 @@ class TestUnifiedApi:
         alloc.malloc_irregular(64)
         assert alloc.stats.affine_allocs == 1
         assert alloc.stats.irregular_allocs == 1
+
+
+class TestFaultDegradation:
+    """Pool exhaustion + injected allocation failures degrade, never fail."""
+
+    def test_affine_degrades_to_next_smaller_interleave(self, machine, alloc):
+        spec = AffineArray(4, 4096, align_x=256)  # solves to 4 KiB interleave
+        machine.pools.pool(4096).max_expansions = 0
+        h = alloc.malloc_affine(spec)
+        assert h.layout.code == "pool-degraded"
+        assert h.layout.intrlv == 2048  # largest surviving interleave
+        assert alloc.stats.degraded_allocs == 1
+        assert alloc.stats.fallbacks == 0
+
+    def test_affine_heap_fallback_when_every_pool_capped(self, machine,
+                                                         alloc):
+        for g in machine.pools.interleaves:
+            machine.pools.pool(g).max_expansions = 0
+        h = alloc.malloc_affine(AffineArray(4, 4096))
+        assert h.layout.code == "pool-degraded"
+        assert alloc.stats.fallbacks == 1
+        # the degraded array is still a fully usable handle
+        assert h.all_banks().size > 0
+
+    def test_irregular_degrades_to_larger_pool_same_bank(self, machine,
+                                                         alloc):
+        machine.pools.pool(64).max_expansions = 0
+        va = alloc.malloc_irregular(64)
+        pool = machine.pools.pool_containing(va)
+        assert pool is not None and pool.intrlv == 128
+        assert alloc.stats.irregular_allocs == 1
+
+    def test_irregular_heap_fallback_when_every_pool_capped(self, machine,
+                                                            alloc):
+        for g in machine.pools.interleaves:
+            machine.pools.pool(g).max_expansions = 0
+        va = alloc.malloc_irregular(64)
+        assert machine.pools.pool_containing(va) is None  # baseline heap
+        assert alloc.stats.fallbacks == 1
+
+    def test_batched_irregular_degrades_per_slot(self, machine, alloc):
+        machine.pools.pool(64).max_expansions = 0
+        vaddrs = alloc.malloc_irregular_batch(
+            64, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 8)
+        assert len(set(vaddrs.tolist())) == 8
+        for va in vaddrs.tolist():
+            pool = machine.pools.pool_containing(va)
+            assert pool is not None and pool.intrlv == 128
+
+    def test_injected_alloc_fault_fires_once_by_ordinal(self, machine,
+                                                        alloc):
+        from repro.faults.injector import FaultSession
+        from repro.faults.log import FaultEventLog
+        from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+        log = FaultEventLog()
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.ALLOC_FAIL, 1, phase="boot"),))
+        FaultSession(plan, log).attach(machine)
+        first = alloc.malloc_affine(AffineArray(4, 1024))   # ordinal 0: fine
+        second = alloc.malloc_affine(AffineArray(4, 1024))  # ordinal 1: fails
+        third = alloc.malloc_affine(AffineArray(4, 1024))   # ordinal 2: fine
+        assert first.layout.code != "alloc-fault"
+        assert second.layout.code == "alloc-fault"
+        assert third.layout.code != "alloc-fault"
+        assert alloc.stats.injected_alloc_faults == 1
+        assert log.count("alloc-degraded") == 1
