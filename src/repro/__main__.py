@@ -16,6 +16,8 @@ Usage::
     python -m repro chaos --seed 0 --rate 0.05   # fault injection +
                                            # degradation report
     python -m repro chaos --plan plan.json vecadd pr_push
+    python -m repro autoplace                # static vs online re-layout
+    python -m repro autoplace stream_flip --scale 0.1 --check-determinism
 
 Results of ``all`` (and any multi-experiment invocation) are also written
 as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
@@ -51,6 +53,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "chaos":
         from repro.faults.chaos import cli as chaos_cli
         return chaos_cli(list(argv[1:]))
+    if argv and argv[0] == "autoplace":
+        from repro.relayout.autoplace import cli as autoplace_cli
+        return autoplace_cli(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -107,6 +107,11 @@ CODES: Dict[str, str] = {
     "CHS001": "fault event left unhandled (no degradation path fired)",
     "CHS002": "fault handled by a degraded-mode fallback",
     "CHS003": "fault plan event never triggered during the run",
+    # Online re-layout plan replay ---------------------------------------
+    "RLY001": "migration targets a failed or out-of-range bank",
+    "RLY002": "migration applied by the online re-layout engine",
+    "RLY003": "migration decision skipped (ineligible or unsafe)",
+    "RLY004": "epoch exceeded the plan's max-per-epoch migration bound",
 }
 
 

@@ -214,11 +214,25 @@ def cli(argv: Optional[List[str]] = None) -> int:
                              "python -m repro chaos --save-log) into CHS "
                              "diagnostics; exits nonzero on unhandled "
                              "faults (CHS001)")
+    parser.add_argument("--migration-plan", type=Path, default=None,
+                        help="replay an autoplace migration plan (JSON "
+                             "from python -m repro autoplace --save-plan) "
+                             "into RLY diagnostics; exits nonzero on "
+                             "unsafe migrations (RLY001/RLY004)")
     args = parser.parse_args(argv)
 
     if args.fault_log is not None:
         from repro.faults.log import FaultEventLog
         report = FaultEventLog.load(args.fault_log).to_diagnostics()
+        print(report.render())
+        if args.expect_findings:
+            return 0 if report.has_findings else 1
+        return 1 if report.has_errors else 0
+
+    if args.migration_plan is not None:
+        from repro.relayout.plan import MigrationPlan
+        plan = MigrationPlan.load(args.migration_plan)
+        report = plan.to_diagnostics(DEFAULT_CONFIG.num_banks)
         print(report.render())
         if args.expect_findings:
             return 0 if report.has_findings else 1

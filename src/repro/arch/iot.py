@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.arch.address import is_power_of_two
 
-__all__ = ["IotEntry", "InterleaveOverrideTable"]
+__all__ = ["IotEntry", "MigrationEntry", "InterleaveOverrideTable"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,34 @@ class IotEntry:
         return self.start <= addr < self.end
 
 
+@dataclass(frozen=True)
+class MigrationEntry:
+    """One migration override: rotate banks of physical ``[start, end)``.
+
+    ``bank(addr) = ((addr - start) >> shift) + offset  mod  num_banks``
+    — the same Eq. 1 hash as a pool entry, plus a constant bank offset.
+    Installing one over a pool-backed array *rotates* the array's round-
+    robin bank assignment by ``offset - original_offset`` banks, which is
+    exactly the re-homing primitive online re-layout needs: no data
+    format change, just a different owner per slot.
+    """
+
+    start: int
+    end: int
+    shift: int
+    offset: int
+
+    def __post_init__(self):
+        if not (0 <= self.start < self.end < (1 << 48)):
+            raise ValueError(
+                f"migration range must be within 48-bit space: "
+                f"[{self.start:#x}, {self.end:#x})")
+        if self.shift < 0:
+            raise ValueError("migration shift must be non-negative")
+        if self.offset < 0:
+            raise ValueError("migration offset must be non-negative")
+
+
 class InterleaveOverrideTable:
     """Fixed-capacity override table queried on every L2 miss / L3 access."""
 
@@ -69,6 +97,14 @@ class InterleaveOverrideTable:
         self._ends = np.empty(0, dtype=np.int64)
         self._shifts = np.empty(0, dtype=np.int64)
         self._sorted_entries: List[IotEntry] = []
+        # Migration-override entries (online re-layout): each rotates the
+        # bank assignment of one physical range by a fixed offset without
+        # touching the pool entries above.  Kept as a separate small table
+        # (the hardware analogue: a handful of shadow IOT entries staged
+        # by the migration engine) and applied after the pool hash but
+        # before any fault remap, so re-layout composes with re-homing.
+        self._mig: List["MigrationEntry"] = []
+        self.migration_capacity = 8
         # Bank-remap vector (chaos fault injection): when a bank fails,
         # the runtime "re-homes" its traffic by retiring the bank here —
         # every lookup's final bank id passes through the vector.  None
@@ -143,6 +179,66 @@ class InterleaveOverrideTable:
         """The active remap vector (read-only view), or None when healthy."""
         return None if self._remap is None else self._remap.copy()
 
+    # ------------------------------------------------------------------
+    # Migration overrides (online re-layout)
+    # ------------------------------------------------------------------
+    @property
+    def migration_entries(self) -> List[MigrationEntry]:
+        return list(self._mig)
+
+    def install_migration(self, entry: MigrationEntry) -> None:
+        """Install (or replace) a migration override.
+
+        An entry with the same ``start`` replaces the previous one — the
+        engine re-rotating an already-migrated array updates in place, so
+        repeated migrations of one array never exhaust the table.  New
+        ranges must not overlap other migration entries.
+        """
+        for i, existing in enumerate(self._mig):
+            if existing.start == entry.start:
+                self._mig[i] = entry
+                return
+            if entry.start < existing.end and existing.start < entry.end:
+                raise ValueError(
+                    f"migration entry [{entry.start:#x},{entry.end:#x}) "
+                    f"overlaps [{existing.start:#x},{existing.end:#x})")
+        if len(self._mig) >= self.migration_capacity:
+            raise RuntimeError(
+                f"migration table full ({self.migration_capacity} entries)")
+        self._mig.append(entry)
+
+    def clear_migrations(self) -> None:
+        self._mig.clear()
+
+    def swap_banks(self, a: int, b: int) -> None:
+        """Swap every future lookup of banks ``a`` and ``b``.
+
+        Composes a transposition onto the remap vector's *outputs*: data
+        currently homed on the hot bank moves to the cold one and vice
+        versa.  Unlike :meth:`retire_bank` this is load-neutral in count —
+        it trades two banks' positions, it does not merge them.
+        """
+        if not (0 <= a < self.num_banks and 0 <= b < self.num_banks):
+            raise ValueError("bank ids out of range")
+        if a == b:
+            raise ValueError("cannot swap a bank with itself")
+        if self._remap is None:
+            self._remap = np.arange(self.num_banks, dtype=np.int64)
+        t = np.arange(self.num_banks, dtype=np.int64)
+        t[a], t[b] = b, a
+        self._remap = t[self._remap]
+
+    def _apply_migrations(self, addrs: np.ndarray,
+                          banks: np.ndarray) -> np.ndarray:
+        mask = self._bank_mask
+        for e in self._mig:
+            m = (addrs >= e.start) & (addrs < e.end)
+            if m.any():
+                override = ((addrs[m] - e.start) >> e.shift) + e.offset
+                banks[m] = (override & mask if mask is not None
+                            else override % self.num_banks)
+        return banks
+
     def banks(self, addrs: np.ndarray, default_shift: int,
               apply_remap: bool = True) -> np.ndarray:
         """Map physical addresses to bank ids (Eq. 1), vectorized.
@@ -158,7 +254,10 @@ class InterleaveOverrideTable:
         ``apply_remap=False`` returns the *raw* (pre-fault) mapping; the
         executor's fault guard uses it to detect touches of failed banks.
         """
+        addrs = np.asarray(addrs, dtype=np.int64)
         banks = self._banks_raw(addrs, default_shift)
+        if self._mig:
+            banks = self._apply_migrations(addrs, banks)
         if apply_remap and self._remap is not None:
             return self._remap[banks]
         return banks

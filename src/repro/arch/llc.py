@@ -15,6 +15,7 @@ single-bank pathology on bin_tree (Fig 13).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -22,7 +23,17 @@ import numpy as np
 from repro.arch.iot import InterleaveOverrideTable
 from repro.config import CacheConfig
 
-__all__ = ["LlcModel"]
+__all__ = ["LlcModel", "RangeMove"]
+
+
+@dataclass(frozen=True)
+class RangeMove:
+    """Result of :meth:`LlcModel.rehome_range`: which lines moved where."""
+
+    old_banks: np.ndarray
+    new_banks: np.ndarray
+    moved_lines: int
+    moved_bytes: float
 
 
 class LlcModel:
@@ -70,6 +81,47 @@ class LlcModel:
         self._footprint_bytes[replacement] += moved
         self._footprint_bytes[bank] = 0.0
         return moved
+
+    def rehome_range(self, paddr: int, size: int, shift: int,
+                     offset: int) -> "RangeMove":
+        """Re-home one physical range via an IOT migration override.
+
+        The online re-layout primitive: unregister the range's footprint
+        under the *current* mapping, install (or replace) a migration
+        entry rotating its bank assignment, and re-register under the new
+        mapping.  Returns the per-line old/new banks so the caller can
+        charge migration traffic for exactly the lines that moved.
+        """
+        from repro.arch.iot import MigrationEntry
+        line = self.cache.line_bytes
+        start = paddr - (paddr % line)
+        end = paddr + size
+        nlines = (end - start + line - 1) // line
+        line_addrs = start + np.arange(nlines, dtype=np.int64) * line
+        old_banks = self.banks_of(line_addrs)
+        self.unregister_range(paddr, size)
+        self.iot.install_migration(
+            MigrationEntry(start=paddr, end=paddr + size,
+                           shift=shift, offset=offset))
+        new_banks = self.banks_of(line_addrs)
+        self.register_range(paddr, size)
+        moved = old_banks != new_banks
+        return RangeMove(old_banks=old_banks, new_banks=new_banks,
+                         moved_lines=int(moved.sum()),
+                         moved_bytes=float(moved.sum()) * float(line))
+
+    def swap_banks(self, a: int, b: int) -> float:
+        """Swap two banks' future mappings and their resident footprints.
+
+        Returns the bytes moved (both directions) — the migration cost the
+        relayout engine charges.
+        """
+        self.iot.swap_banks(a, b)
+        fa = float(self._footprint_bytes[a])
+        fb = float(self._footprint_bytes[b])
+        self._footprint_bytes[a] = fb
+        self._footprint_bytes[b] = fa
+        return fa + fb
 
     # ------------------------------------------------------------------
     # Footprint / capacity

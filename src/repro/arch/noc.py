@@ -232,6 +232,19 @@ class TrafficAccountant:
         return min(1.0, self._channel_loads().sum()
                    / (self._usable_link_count() * cycles))
 
+    def reset(self) -> None:
+        """Zero every counter and invalidate the channel-load cache.
+
+        Epoch-based consumers (the relayout telemetry aggregator) reset
+        between epochs; the dirty flag guarantees the next metric query
+        recomputes channel loads instead of serving the pre-reset cache,
+        even when no ``record`` call lands in between.
+        """
+        for cls in MessageClass:
+            self._pair_flits[cls][:] = 0.0
+            self._messages[cls] = 0.0
+        self._dirty = True
+
     def merged_with(self, other: "TrafficAccountant") -> "TrafficAccountant":
         """Return a new accountant with both traffic sets combined."""
         out = TrafficAccountant(self.mesh, self.noc)

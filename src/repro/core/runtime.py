@@ -294,6 +294,40 @@ class AffinityAllocator:
         self.stats.paged_allocs += 1
         return handle
 
+    def malloc_offset(self, ref: ArrayHandle, delta: int,
+                      name: str = "") -> ArrayHandle:
+        """Allocate an array shaped like ``ref`` whose element-0 bank is
+        ``ref``'s start bank plus ``delta`` banks.
+
+        The Fig 4 "Δ Bank" control, promoted to a first-class primitive:
+        the relayout scenarios use it to construct *deliberately* drifted
+        placements that the online engine must detect and repair.  The
+        clone shares ``ref``'s pool interleave and stride, so a ``delta``
+        of zero is exactly an ``align_to=ref`` allocation.
+        """
+        assert ref.layout is not None
+        nb = self.machine.num_banks
+        layout = ref.layout
+        if layout.kind is not LayoutKind.POOL:
+            raise LayoutError("malloc_offset needs a pool-backed reference")
+        want = (layout.start_bank + delta) % nb
+        space = self._space(layout.intrlv)
+        size = (ref.num_elem - 1) * ref.stride + ref.elem_size
+        nslots = -(-size // layout.intrlv)
+        slot = space.alloc(nslots, want)
+        vaddr = space.slot_vaddr(slot)
+        new_layout = AffineLayout(LayoutKind.POOL, layout.intrlv, want,
+                                  ref.stride, f"delta-bank {delta}")
+        handle = ArrayHandle(self.machine, vaddr, ref.elem_size,
+                             ref.num_elem, stride=ref.stride, name=name,
+                             layout=new_layout)
+        paddr = self.machine.space.translate_one(vaddr)
+        self.machine.llc.register_range(paddr, size)
+        self._records[vaddr] = _AffineRecord(handle, new_layout, slot, nslots)
+        self._freed_affine.discard(vaddr)
+        self._note_event("alloc", vaddr, handle.size_bytes, name)
+        return handle
+
     # ------------------------------------------------------------------
     # Irregular path
     # ------------------------------------------------------------------

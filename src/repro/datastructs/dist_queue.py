@@ -62,18 +62,38 @@ class SpatialQueue:
     """
 
     def __init__(self, machine: Machine, allocator: AffinityAllocator,
-                 vertices: ArrayHandle, num_partitions: int = 0):
+                 vertices: ArrayHandle, num_partitions: int = 0,
+                 bank_offset: int = 0):
         self.machine = machine
         self.vertices = vertices
         n = vertices.num_elem
         p = num_partitions or machine.num_banks
         self.num_partitions = p
         self.part_size = -(-n // p)  # ceil
-        self.storage = allocator.malloc_affine(
-            AffineArray(4, n, align_to=vertices), name="spatial-queue")
-        self.tails = allocator.malloc_affine(
-            AffineArray(8, p, align_to=vertices, align_p=self.part_size),
-            name="spatial-queue-tails")
+        if bank_offset:
+            # Deliberately *drifted* storage: slot banks land a fixed
+            # bank distance from the vertex partition they serve (the
+            # autoplace stress scenario; the online re-layout engine
+            # should rotate this back).
+            aligned = allocator.malloc_affine(
+                AffineArray(4, n, align_to=vertices), name="spatial-queue-ref")
+            self.storage = allocator.malloc_offset(aligned, bank_offset,
+                                                   name="spatial-queue")
+            allocator.free_aff(aligned)
+        else:
+            self.storage = allocator.malloc_affine(
+                AffineArray(4, n, align_to=vertices), name="spatial-queue")
+        if bank_offset:
+            tails_ref = allocator.malloc_affine(
+                AffineArray(8, p, align_to=vertices, align_p=self.part_size),
+                name="spatial-queue-tails-ref")
+            self.tails = allocator.malloc_offset(tails_ref, bank_offset,
+                                                 name="spatial-queue-tails")
+            allocator.free_aff(tails_ref)
+        else:
+            self.tails = allocator.malloc_affine(
+                AffineArray(8, p, align_to=vertices, align_p=self.part_size),
+                name="spatial-queue-tails")
         self._counts = np.zeros(p, dtype=np.int64)
 
     def reset(self) -> None:

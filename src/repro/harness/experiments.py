@@ -39,6 +39,7 @@ __all__ = [
     "ablation_node_size",
     "ablation_pool_granularity",
     "ablation_codesign",
+    "fig_relayout",
 ]
 
 FIG12_WORKLOADS = ("pathfinder", "hotspot", "srad", "hotspot3D", "pr_push",
@@ -496,4 +497,41 @@ def ablation_codesign(scale: float = 0.12,
                          seed=seed, **overrides)
         res.raw[label] = r
         res.data.append([label, r.cycles, r.total_flit_hops])
+    return res
+
+
+# ----------------------------------------------------------------------
+# Relayout — static placement vs telemetry-driven online re-layout
+# ----------------------------------------------------------------------
+def fig_relayout(scenarios: Optional[Sequence[str]] = None,
+                 scale: float = 1.0,
+                 seed: int = 0) -> SweepResult:
+    """Static allocation vs epoch-based online re-layout (autoplace).
+
+    Each row is one phase-changing scenario: the static arm keeps the
+    allocator's one-shot placement for the whole run; the online arm
+    runs the same workload inside a relayout session, which migrates
+    drifted arrays back onto their consumers' banks at epoch
+    boundaries.  ``recovered_speedup`` is static cycles / online cycles
+    (cost of migration already charged to the online arm).
+    """
+    from repro.relayout.autoplace import DEFAULT_SCENARIOS, run_autoplace
+    from repro.relayout.policy import RelayoutConfig
+    report = run_autoplace(tuple(scenarios or DEFAULT_SCENARIOS),
+                           RelayoutConfig(seed=seed), scale=scale,
+                           seed=seed, jobs=1)
+    res = SweepResult(
+        "Relayout: Online Re-Layout vs Static Placement",
+        ["scenario", "static_cycles", "online_cycles", "recovered_speedup",
+         "migrations", "moved_kib", "locality_static", "locality_final"],
+        raw={"report": report},
+    )
+    for row in report.rows:
+        post = row.get("post_locality")
+        res.data.append([
+            row["scenario"], row["static"]["cycles"],
+            row["online"]["cycles"], report.recovered(row),
+            row["migrations"], row["moved_bytes"] / 1024.0,
+            row["static"]["locality"],
+            post if post is not None else row["online"]["locality"]])
     return res

@@ -75,6 +75,7 @@ EXPERIMENTS: Dict[str, Callable[[float, int], object]] = {
         scale=scale, seed=seed),
     "abl_codesign": lambda scale, seed: exp.ablation_codesign(scale=scale,
                                                               seed=seed),
+    "relayout": lambda scale, seed: exp.fig_relayout(scale=scale, seed=seed),
     "table1": lambda scale, seed: tables.table1_iot_format(),
     "table2": lambda scale, seed: tables.table2_system_parameters(),
     "table3": lambda scale, seed: tables.table3_workloads(),
@@ -113,7 +114,8 @@ def _config_fingerprint() -> str:
 # Worker
 # ----------------------------------------------------------------------
 def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
-             cache_dir: Optional[str], crash: bool = False) -> Dict:
+             cache_dir: Optional[str], crash: bool = False,
+             relayout=None) -> Dict:
     """Run one experiment (in this or a worker process) → plain dict.
 
     Figure-level results are cached post-sanitization under a key derived
@@ -124,6 +126,12 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
     ``crash=True`` injects a WORKER_CRASH fault: the worker dies here,
     before computing or touching the cache, and the parent's restart
     logic is exercised exactly as if the process had been OOM-killed.
+
+    ``relayout`` (a :class:`repro.relayout.policy.RelayoutConfig`) runs
+    the experiment inside a relayout session, so epoch-aware workloads
+    migrate drifted arrays online.  The config digest joins the cache
+    key; ``None`` leaves the key — and every code path — byte-identical
+    to a plain run.
     """
     if crash:
         from repro.analysis.diagnostics import WorkerCrashError
@@ -132,17 +140,26 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
     cache = get_cache()
     if cache_dir is not None and Path(cache_dir) != cache.root:
         cache = configure(root=cache_dir)
-    key = cache_key("experiment", id=fid, scale=scale, seed=seed,
-                    config=_config_fingerprint())
+    key_fields = dict(id=fid, scale=scale, seed=seed,
+                      config=_config_fingerprint())
+    if relayout is not None:
+        key_fields["relayout"] = relayout.digest()
+    key = cache_key("experiment", **key_fields)
     payload = cache.get_json(key) if use_cache else None
     from_cache = payload is not None
     if payload is None:
+        from contextlib import nullcontext
+        session = nullcontext()
+        if relayout is not None:
+            from repro.relayout.engine import relayout_session
+            session = relayout_session(relayout, task=fid)
         fn = EXPERIMENTS[fid]
-        if use_cache:
-            result = fn(scale, seed)
-        else:
-            with cache.disabled():
+        with session:
+            if use_cache:
                 result = fn(scale, seed)
+            else:
+                with cache.disabled():
+                    result = fn(scale, seed)
         payload = {"title": result.title,
                    "headers": _plain(list(result.headers)),
                    "rows": _plain(list(result.rows()))}
@@ -259,7 +276,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 results_dir: Optional[os.PathLike] = None,
                 preflight: bool = True,
                 progress: Optional[Callable[[str], None]] = None,
-                fault_plan=None) -> RunReport:
+                fault_plan=None, relayout=None) -> RunReport:
     """Run experiments by id, optionally fanned across a process pool.
 
     Args:
@@ -286,6 +303,14 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             ``_MAX_WORKER_RESTARTS`` per experiment.  An empty/None plan
             leaves every code path and the metrics JSON byte-identical
             to a plain run.
+        relayout: optional :class:`repro.relayout.policy.RelayoutConfig`.
+            Every experiment runs inside a relayout session with this
+            config, so epoch-aware workloads migrate drifted arrays
+            online.  The config digest joins each figure's cache key
+            (plain and relayout runs never share cache entries); the
+            results filename is unchanged, so a run whose telemetry
+            triggers zero migrations reproduces the plain run's
+            ``run-<hash>.json`` byte for byte.
 
     Returns:
         A :class:`RunReport`; ``report.figures`` preserves ``ids`` order
@@ -320,7 +345,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             while True:
                 try:
                     r = _run_one(fid, scale, seed, use_cache, None,
-                                 crash=remaining > 0)
+                                 crash=remaining > 0, relayout=relayout)
                 except WorkerCrashError:
                     remaining -= 1
                     attempt += 1
@@ -338,7 +363,8 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             remaining = dict(crashes)
             attempts: Dict[str, int] = {}
             futs = {pool.submit(_run_one, fid, scale, seed, use_cache,
-                                cache_dir, remaining.get(fid, 0) > 0): fid
+                                cache_dir, remaining.get(fid, 0) > 0,
+                                relayout): fid
                     for fid in ids}
             completed = 0
             while futs:
@@ -354,7 +380,8 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                     _note_restart(fid, attempts[fid])
                     futs[pool.submit(_run_one, fid, scale, seed, use_cache,
                                      cache_dir,
-                                     remaining.get(fid, 0) > 0)] = fid
+                                     remaining.get(fid, 0) > 0,
+                                     relayout)] = fid
                     continue
                 done[r["id"]] = r
                 completed += 1

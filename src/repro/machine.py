@@ -93,6 +93,12 @@ class Machine:
         # the exact original instruction stream.
         self.faults = None
 
+        # Online re-layout: populated by RelayoutSession.attach (see
+        # repro.relayout.engine); None when no autoplace session is
+        # active, and every hook is gated on that None so static runs
+        # execute the exact original instruction stream.
+        self.relayout = None
+
     # ------------------------------------------------------------------
     @property
     def num_banks(self) -> int:

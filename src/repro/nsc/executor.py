@@ -352,6 +352,7 @@ class StreamExecutor:
                 need = banks != cb
                 self.rec.add_stream_locality(banks.size * repeat,
                                              float(need.sum()) * repeat)
+                self._observe(h, banks, cb, repeat)
                 if need.any():
                     src_b, dst_b, counts = self._group_pairs(
                         lines[need], banks[need], cb[need])
@@ -374,6 +375,17 @@ class StreamExecutor:
         else:
             self.rec.add_near_ops(in_bl[0][0], ops_per_elem * repeat)
         self._credits(cores, consumer_banks, repeat)
+
+    def _observe(self, handle, data_banks, desired_banks,
+                 count: float = 1.0) -> None:
+        """Feed a drift observation to an attached relayout state.
+
+        Gated on ``machine.relayout`` being None so static runs pay one
+        attribute load per offloaded stream and nothing else.
+        """
+        state = self.machine.relayout
+        if state is not None:
+            state.observe_stream(handle, data_banks, desired_banks, count)
 
     def _group_pairs(self, lines, src_banks, dst_banks):
         """Aggregate (source line -> dest bank) forwarding messages."""
@@ -413,6 +425,7 @@ class StreamExecutor:
         remote = b_banks != t_banks
         self.rec.add_stream_locality(b_banks.size * repeat,
                                      float(remote.sum()) * repeat)
+        self._observe(target[0], t_banks, b_banks, repeat)
         self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
                                 MessageClass.CONTROL, count=repeat)
         self.rec.traffic.record(t_banks[remote], b_banks[remote], value_bytes,
@@ -446,6 +459,7 @@ class StreamExecutor:
         remote = b_banks != t_banks
         self.rec.add_stream_locality(b_banks.size * repeat,
                                      float(remote.sum()) * repeat)
+        self._observe(target[0], t_banks, b_banks, repeat)
         self.rec.traffic.record(b_banks[remote], t_banks[remote], _IND_REQ_BYTES,
                                 MessageClass.CONTROL, count=repeat)
         self.rec.add_bank_atomics(t_banks, repeat)
@@ -544,13 +558,17 @@ class StreamExecutor:
     # Work queues
     # ------------------------------------------------------------------
     def queue_push(self, cores, src_banks, tail_banks, slot_banks,
-                   payload_bytes: int = 4) -> None:
+                   payload_bytes: int = 4, tail_handle=None,
+                   slot_handle=None) -> None:
         """Push values into a queue: atomic tail bump + slot store.
 
         ``src_banks`` is where each push originates (the bank that decided
         to push, e.g. where the CAS succeeded); with a spatially
         distributed queue these match ``tail_banks``/``slot_banks`` and the
         push is free of NoC traffic (paper Fig 9).
+
+        ``tail_handle``/``slot_handle`` optionally name the backing
+        arrays so an attached relayout state can track queue drift.
         """
         cores = np.asarray(cores, dtype=np.int64)
         src_banks = np.asarray(src_banks, dtype=np.int64)
@@ -574,6 +592,8 @@ class StreamExecutor:
         rs_count = float((src_banks != slot_banks).sum())
         self.rec.add_stream_locality(2.0 * src_banks.size,
                                      float(rt.sum()) + rs_count)
+        self._observe(tail_handle, tail_banks, src_banks)
+        self._observe(slot_handle, slot_banks, src_banks)
         self.rec.traffic.record(src_banks[rt], tail_banks[rt], _IND_REQ_BYTES,
                                 MessageClass.CONTROL)
         self.rec.add_bank_atomics(tail_banks)

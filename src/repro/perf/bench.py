@@ -50,16 +50,18 @@ __all__ = ["run_benches", "write_bench_json", "compare_bench",
            "BENCH_NAMES", "cli"]
 
 SCHEMA_VERSION = 1
-BENCH_NAMES = ("noc", "translate", "iot", "fig12")
+BENCH_NAMES = ("noc", "translate", "iot", "fig12", "relayout")
 
 # Full-mode / smoke-mode problem sizes.
 _FULL = {
     "pairs_reps": 30, "micro_reps": 5, "micro_n": 500_000,
     "record_batches": 200, "fig12_scale": 0.06, "fig12_seed": 0,
+    "relayout_scale": 1.0, "decide_arrays": 512,
 }
 _SMOKE = {
     "pairs_reps": 5, "micro_reps": 2, "micro_n": 50_000,
     "record_batches": 50, "fig12_scale": 0.015, "fig12_seed": 0,
+    "relayout_scale": 0.25, "decide_arrays": 128,
 }
 
 
@@ -248,11 +250,50 @@ def _bench_fig12(sizes: dict) -> Dict[str, dict]:
     return metrics
 
 
+def _bench_relayout(sizes: dict) -> Dict[str, dict]:
+    from repro.relayout.autoplace import run_autoplace
+    from repro.relayout.policy import (ArrayDrift, RelayoutConfig, Telemetry,
+                                       decide)
+
+    scale = sizes["relayout_scale"]
+    reps = sizes["micro_reps"]
+    metrics = {}
+
+    # End-to-end static + online pair for the canonical drifting stream.
+    t0 = time.perf_counter()
+    report = run_autoplace(("stream_flip",), RelayoutConfig(), scale=scale)
+    sec = time.perf_counter() - t0
+    metrics["autoplace_stream_flip"] = _metric(
+        sec, 1, {"scale": scale, "migrations": report.plan.applied_count(),
+                 "recovered": report.best_recovered})
+
+    # Policy micro-bench: one decide() over a wide telemetry snapshot
+    # (the per-epoch cost the engine pays at every boundary).
+    nb = 64
+    n_arrays = sizes["decide_arrays"]
+    cfg = RelayoutConfig()
+    arrays = tuple(
+        ArrayDrift(name=f"a{i}", vaddr=i << 12, total=1024.0 + i,
+                   remote=512.0,
+                   delta_hist=tuple(512.0 if d == (i % nb) else 0.0
+                                    for d in range(nb)))
+        for i in range(n_arrays))
+    telemetry = Telemetry(epoch="bench", num_banks=nb,
+                          bank_heat=tuple(float(b + 1) for b in range(nb)),
+                          healthy=(True,) * nb, arrays=arrays,
+                          budget_left=cfg.max_total)
+    sec = _time_call(lambda: decide(telemetry, cfg), reps * 10)
+    metrics["policy_decide"] = _metric(
+        sec, reps * 10, {"arrays": n_arrays, "num_banks": nb})
+    return metrics
+
+
 _BENCHES = {
     "noc": _bench_noc,
     "translate": _bench_translate,
     "iot": _bench_iot,
     "fig12": _bench_fig12,
+    "relayout": _bench_relayout,
 }
 
 

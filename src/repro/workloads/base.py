@@ -23,6 +23,7 @@ from repro.core.policy import BankSelectPolicy, HybridPolicy
 from repro.core.runtime import AffinityAllocator
 from repro.faults.injector import active_fault_session
 from repro.machine import Machine
+from repro.relayout.engine import active_relayout_session
 from repro.nsc.engine import EngineMode
 from repro.nsc.executor import StreamExecutor
 from repro.perf.model import PerfModel, RunResult
@@ -66,6 +67,17 @@ class RunContext:
         c = self.machine.num_cores
         return (np.asarray(pos, dtype=np.int64) * c // max(total, 1)).astype(np.int64)
 
+    def end_epoch(self, label: str) -> None:
+        """Close one epoch: seal the phase, then (when an autoplace
+        session attached a relayout state) run the migration engine's
+        decide/apply loop on the sealed counters.  Without a state this
+        is exactly ``recorder.end_phase(label)`` — static runs keep a
+        byte-identical phase stream."""
+        phase = self.recorder.end_phase(label)
+        state = self.machine.relayout
+        if state is not None:
+            state.on_epoch_boundary(self.recorder, phase)
+
     def finish(self, label: str, reuse_fraction: float = 1.0,
                value=None) -> RunResult:
         return PerfModel(self.machine).evaluate(
@@ -91,6 +103,13 @@ def make_context(mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
         # any allocation; run-phase faults arm and fire at the first
         # executor primitive.
         session.attach(machine)
+    relayout = active_relayout_session()
+    if relayout is not None:
+        # Online re-layout: attaches a RelayoutState (machine.relayout)
+        # that the executor feeds drift observations and end_epoch()
+        # drives; an inactive session (cfg=None) no-ops, keeping nested
+        # static arms static.
+        relayout.attach(machine)
     recorder = RunRecorder(machine)
     executor = StreamExecutor(machine, recorder, mode)
     allocator = None

@@ -372,7 +372,10 @@ class _BfsBase(Workload):
                        node_bytes=p.get("node_bytes", 64))
         aff = mode.affinity_aware
         if aff and p.get("spatial_queue", True):
-            queue = SpatialQueue(ctx.machine, ctx.allocator, s.prop("parent"))
+            # queue_delta deliberately mis-homes the queue storage by a
+            # fixed bank distance (autoplace drift scenario; 0 = aligned).
+            queue = SpatialQueue(ctx.machine, ctx.allocator, s.prop("parent"),
+                                 bank_offset=p.get("queue_delta", 0))
         else:
             queue = GlobalQueue(ctx.machine, g.num_vertices)
 
@@ -400,7 +403,7 @@ class _BfsBase(Workload):
             else:
                 frontier, parent, visited = self._pull_iter(
                     ctx, s, g, frontier, parent, visited)
-            ctx.recorder.end_phase(f"iter{it}:{direction}")
+            ctx.end_epoch(f"iter{it}:{direction}")
             it += 1
         res = ctx.finish(f"{self.name}/{mode.value}", reuse_fraction=0.5,
                          value=parent)
@@ -426,7 +429,10 @@ class _BfsBase(Workload):
             src_banks = s.prop("parent").banks(new)
             tb, sb, _slots = queue.push_trace(new)
             pcores = ctx.cores_of_positions(np.arange(new.size), new.size)
-            ctx.executor.queue_push(pcores, src_banks, tb, sb)
+            ctx.executor.queue_push(
+                pcores, src_banks, tb, sb,
+                tail_handle=getattr(queue, "tails", None),
+                slot_handle=queue.storage)
         return new, parent, visited + new.size
 
     def _pull_iter(self, ctx, s: GraphSetup, g: CSRGraph,
@@ -495,7 +501,8 @@ class Sssp(Workload):
                        node_bytes=p.get("node_bytes", 64))
         aff = mode.affinity_aware
         if aff and p.get("spatial_queue", True):
-            queue = SpatialQueue(ctx.machine, ctx.allocator, s.prop("dist"))
+            queue = SpatialQueue(ctx.machine, ctx.allocator, s.prop("dist"),
+                                 bank_offset=p.get("queue_delta", 0))
         else:
             queue = GlobalQueue(ctx.machine, g.num_vertices)
 
@@ -524,9 +531,12 @@ class Sssp(Workload):
                 src_banks = s.prop("dist").banks(new)
                 tb, sb, _slots = queue.push_trace(new)
                 pcores = ctx.cores_of_positions(np.arange(new.size), new.size)
-                ctx.executor.queue_push(pcores, src_banks, tb, sb)
+                ctx.executor.queue_push(
+                    pcores, src_banks, tb, sb,
+                    tail_handle=getattr(queue, "tails", None),
+                    slot_handle=queue.storage)
             frontier = new
-            ctx.recorder.end_phase(f"iter{it}")
+            ctx.end_epoch(f"iter{it}")
             it += 1
         res = ctx.finish(f"sssp/{mode.value}", reuse_fraction=0.5, value=dist)
         res.counters["sssp_iterations"] = it

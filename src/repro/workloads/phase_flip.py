@@ -1,0 +1,104 @@
+"""Phase-changing streaming kernels for the online re-layout study.
+
+``stream_flip`` runs ``C[i] = A[idx] + B[idx]`` through a *schedule* of
+segments; each segment reads its inputs at a fixed bank shift from the
+consumer.  The opening segment is perfectly aligned (the layout the
+affinity allocator chose is optimal for it); later segments model a
+program phase change — the access pattern slides by a few banks, so a
+static layout forwards every operand across the NoC while the online
+re-layout engine can rotate the inputs back under their consumers after
+one drifted epoch.
+
+``dyn_graph_stream`` is the same kernel under a mutation-stream
+schedule: the shift changes twice mid-run (as when a dynamic graph's
+hot vertex set moves), forcing the engine to re-rotate and exercising
+migration-table replacement plus cooldown handling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.nsc.engine import EngineMode
+from repro.perf.model import RunResult
+from repro.workloads.base import Workload, make_context, register
+
+__all__ = ["DynGraphStream", "StreamFlip"]
+
+_FALLBACK_ELEMS_PER_BANK = 256  # 1 KiB default interleave / 4 B elements
+
+
+class _ScheduledStream(Workload):
+    """Shared machinery: run the add kernel over a (iters, shift) schedule."""
+
+    name = "abstract-scheduled-stream"
+    layout_kind = "Affine"
+    SCALED_PARAMS = ("n",)
+    #: ((iterations, bank shift), ...) — subclasses pin their phase plot.
+    SCHEDULE: Tuple[Tuple[int, int], ...] = ()
+
+    def default_params(self) -> Dict:
+        return {"n": 1 << 18, "schedule": self.SCHEDULE}
+
+    def layout_plan(self, scale: float = 1.0, **overrides):
+        from repro.analysis.plan import LayoutPlan
+        n = self.params(scale, **overrides)["n"]
+        plan = LayoutPlan(self.name)
+        plan.array("A", 4, n)
+        plan.array("B", 4, n, align_to="A")
+        plan.array("C", 4, n, align_to="A")
+        return plan
+
+    def run(self, mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
+            policy=None, scale: float = 1.0, seed: int = 0,
+            **overrides) -> RunResult:
+        p = self.params(scale, **overrides)
+        n = p["n"]
+        schedule = tuple(p["schedule"])
+        ctx = make_context(mode, config, policy, seed)
+        aff = mode.affinity_aware
+        a = ctx.alloc(4, n, "A")
+        b = ctx.alloc(4, n, "B", align_to=a if aff else None)
+        c = ctx.alloc(4, n, "C", align_to=a if aff else None)
+        layout = a.layout
+        elems_per_bank = (int(layout.intrlv) // 4
+                          if layout is not None and layout.intrlv > 0
+                          else _FALLBACK_ELEMS_PER_BANK)
+
+        rng = np.random.default_rng(seed)
+        av = rng.random(n, dtype=np.float32)
+        bv = rng.random(n, dtype=np.float32)
+        idx = np.arange(n, dtype=np.int64)
+        cores = ctx.cores_for(n)
+        cv = np.zeros(n, dtype=np.float32)
+        epoch = 0
+        for shift_no, (iters, shift) in enumerate(schedule):
+            src = (idx + shift * elems_per_bank) % n
+            for _ in range(iters):
+                ctx.executor.affine_kernel(cores, [(a, src), (b, src)],
+                                           out=(c, idx), ops_per_elem=1.0)
+                ctx.end_epoch(f"seg{shift_no}:shift{shift}:e{epoch}")
+                epoch += 1
+            cv = av[src] + bv[src]
+        res = ctx.finish(f"{self.name}/{mode.value}", value=cv)
+        res.counters["epochs"] = epoch
+        return res
+
+
+@register
+class StreamFlip(_ScheduledStream):
+    """One phase change: aligned push epochs, then shifted pull epochs."""
+
+    name = "stream_flip"
+    SCHEDULE = ((2, 0), (4, 3))
+
+
+@register
+class DynGraphStream(_ScheduledStream):
+    """Mutation stream: the hot access offset moves twice mid-run."""
+
+    name = "dyn_graph"
+    SCHEDULE = ((1, 0), (3, 2), (3, 5))

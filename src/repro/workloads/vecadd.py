@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.api import AffineArray, ArrayHandle
-from repro.core.affine import AffineLayout, LayoutKind
 from repro.nsc.engine import EngineMode
 from repro.perf.model import RunResult
 from repro.workloads.base import RunContext, Workload, make_context, register
@@ -79,22 +78,7 @@ def _alloc_with_bank_offset(ctx: RunContext, ref: ArrayHandle, delta: int,
     """Allocate an array shaped like ``ref`` whose element-0 bank is
     ``ref``'s start bank plus ``delta`` (the Fig 4 "Δ Bank" control)."""
     assert ctx.allocator is not None and ref.layout is not None
-    nb = ctx.machine.num_banks
-    layout = ref.layout
-    want = (layout.start_bank + delta) % nb
-    space = ctx.allocator._space(layout.intrlv)
-    size = (ref.num_elem - 1) * ref.stride + ref.elem_size
-    nslots = -(-size // layout.intrlv)
-    slot = space.alloc(nslots, want)
-    vaddr = space.slot_vaddr(slot)
-    handle = ArrayHandle(ctx.machine, vaddr, ref.elem_size, ref.num_elem,
-                         stride=ref.stride, name=name,
-                         layout=AffineLayout(LayoutKind.POOL, layout.intrlv,
-                                             want, ref.stride,
-                                             f"delta-bank {delta}"))
-    paddr = ctx.machine.space.translate_one(vaddr)
-    ctx.machine.llc.register_range(paddr, size)
-    return handle
+    return ctx.allocator.malloc_offset(ref, delta, name)
 
 
 def run_vecadd_delta(delta: Optional[int], mode: EngineMode = EngineMode.AFF_ALLOC,

@@ -139,3 +139,51 @@ class TestDegradedTopology:
         # the flits now traverse different links
         dead = mesh.dead_links
         assert all(acct.link_loads()[link] == 0.0 for link in dead)
+
+
+class TestReset:
+    """reset(): counters zero AND snapshot queries stay consistent.
+
+    The relayout telemetry aggregator resets the accountant between
+    epochs; a stale channel-load cache surviving a reset would leak the
+    previous epoch's loads into the next epoch's heat snapshot."""
+
+    def test_reset_zeroes_every_counter(self, acct):
+        acct.record(0, 63, 64, MessageClass.DATA, count=7)
+        acct.record(np.array([1, 2]), np.array([3, 4]), 0,
+                    MessageClass.CONTROL)
+        acct.reset()
+        assert acct.total_flits() == 0.0
+        assert acct.message_count() == 0.0
+        assert acct.flit_hops() == 0.0
+
+    def test_metric_query_after_reset_never_serves_stale_cache(self, acct):
+        acct.record(0, 63, 64, MessageClass.DATA, count=100)
+        assert acct.max_link_load() > 0  # prime the channel-load cache
+        acct.reset()
+        # mid-epoch query with NO record() in between: must recompute
+        assert acct.max_link_load() == 0.0
+        assert acct.mean_link_load() == 0.0
+        assert acct.utilization(1e6) == 0.0
+
+    def test_record_after_reset_starts_a_clean_epoch(self, acct):
+        acct.record(0, 63, 64, MessageClass.DATA, count=100)
+        acct.max_link_load()
+        acct.reset()
+        acct.record(0, 1, 64, MessageClass.DATA)
+        # one 3-flit message over one link: the old epoch's 100 messages
+        # must not contribute
+        assert acct.total_flits() == 3.0
+        assert acct.max_link_load() == 3.0
+
+    def test_reset_survives_topology_change(self):
+        mesh = Mesh(8, 8)
+        acct = TrafficAccountant(mesh, NocConfig())
+        acct.record(9, 10, 64, MessageClass.DATA)
+        acct.max_link_load()
+        acct.reset()
+        mesh.remove_link_between(9, 10)
+        assert acct.max_link_load() == 0.0
+        acct.record(9, 10, 64, MessageClass.DATA)
+        # post-reset traffic routes through the new topology (detour)
+        assert acct.flit_hops() == 9.0
