@@ -18,6 +18,10 @@ Usage::
     python -m repro chaos --plan plan.json vecadd pr_push
     python -m repro autoplace                # static vs online re-layout
     python -m repro autoplace stream_flip --scale 0.1 --check-determinism
+    python -m repro trace vecadd --out trace.json --metrics m.csv --top 5
+    python -m repro trace --diff a.json b.json   # exact trace comparison
+    python -m repro info --json            # versions, defaults, cache,
+                                           # registries
 
 Results of ``all`` (and any multi-experiment invocation) are also written
 as machine-readable JSON to ``results/run-<hash>.json``; the hash covers
@@ -56,6 +60,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "autoplace":
         from repro.relayout.autoplace import cli as autoplace_cli
         return autoplace_cli(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import cli as trace_cli
+        return trace_cli(list(argv[1:]))
+    if argv and argv[0] == "info":
+        from repro.harness.info import cli as info_cli
+        return info_cli(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

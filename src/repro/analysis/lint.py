@@ -219,6 +219,10 @@ def cli(argv: Optional[List[str]] = None) -> int:
                              "from python -m repro autoplace --save-plan) "
                              "into RLY diagnostics; exits nonzero on "
                              "unsafe migrations (RLY001/RLY004)")
+    from repro.harness.cliutil import add_seed_argument
+    add_seed_argument(parser, help_suffix="accepted for CLI uniformity; "
+                                          "layout linting is "
+                                          "seed-independent")
     args = parser.parse_args(argv)
 
     if args.fault_log is not None:

@@ -128,6 +128,13 @@ class AffinityAllocator:
         """Mark an address as referenced (for use-after-free checking)."""
         self._note_event("use", vaddr, label=label)
 
+    def _trace_alloc(self, event: str, **args) -> None:
+        """Emit one allocation instant to an attached tracer (no-op —
+        one attribute load — on the untraced path)."""
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant(event, "alloc", args)
+
     def _bad_free(self, code: str, vaddr: int, message: str, hint: str) -> None:
         severity = Severity.ERROR if self.strict else Severity.WARNING
         self.diagnostics.append(Diagnostic(
@@ -187,6 +194,9 @@ class AffinityAllocator:
             self.stats.affine_allocs += 1
         self._freed_affine.discard(handle.vaddr)
         self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
+        self._trace_alloc("malloc_affine", name=name,
+                          kind=handle.layout.kind.value if handle.layout else "",
+                          bytes=int(handle.size_bytes))
         return handle
 
     def _affine_alloc_fault(self, spec: AffineArray, name: str,
@@ -208,6 +218,8 @@ class AffinityAllocator:
             f"baseline heap")
         self._freed_affine.discard(handle.vaddr)
         self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
+        self._trace_alloc("malloc_affine", name=name, kind="fallback",
+                          bytes=int(handle.size_bytes), injected_fault=True)
         return handle
 
     def _affine_degraded(self, spec: AffineArray, layout: AffineLayout,
@@ -326,6 +338,8 @@ class AffinityAllocator:
         self._records[vaddr] = _AffineRecord(handle, new_layout, slot, nslots)
         self._freed_affine.discard(vaddr)
         self._note_event("alloc", vaddr, handle.size_bytes, name)
+        self._trace_alloc("malloc_offset", name=name, delta=int(delta),
+                          bytes=int(handle.size_bytes))
         return handle
 
     # ------------------------------------------------------------------
@@ -383,6 +397,8 @@ class AffinityAllocator:
         self.machine.llc.register_range(paddr, intrlv)
         self.stats.irregular_allocs += 1
         self._note_event("alloc", vaddr, intrlv, "irregular")
+        self._trace_alloc("malloc_irregular", bytes=int(intrlv),
+                          bank=int(bank))
         return vaddr
 
     def _irregular_degraded(self, intrlv: int, bank: int) -> int:
@@ -465,6 +481,8 @@ class AffinityAllocator:
         if self.events is not None:
             for va in vaddrs.tolist():
                 self._note_event("alloc", va, intrlv, "irregular")
+        self._trace_alloc("malloc_irregular_batch", n=int(n),
+                          bytes=int(intrlv))
         return vaddrs
 
     def _fault_mask(self) -> Optional[np.ndarray]:
@@ -565,6 +583,8 @@ class AffinityAllocator:
         if self.events is not None:
             for va in vaddrs.tolist():
                 self._note_event("alloc", va, intrlv, "irregular")
+        self._trace_alloc("malloc_irregular_chained", n=int(n),
+                          bytes=int(intrlv))
         return vaddrs
 
     def _chained_hybrid(self, prev_ids: np.ndarray, head_banks: np.ndarray,
@@ -664,6 +684,7 @@ class AffinityAllocator:
         baseline-heap free.
         """
         vaddr = obj.vaddr if isinstance(obj, ArrayHandle) else int(obj)
+        self._trace_alloc("free_aff", vaddr=vaddr)
         rec = self._records.pop(vaddr, None)
         if rec is not None:
             self.stats.frees += 1
@@ -744,6 +765,8 @@ class AffinityAllocator:
         self.free_aff(vaddr)
         new = self.malloc_irregular(size, aff_addrs)
         self.stats.reallocs += 1
+        self._trace_alloc("realloc_aff", old=vaddr, new=int(new),
+                          bytes=int(size))
         return new
 
     # ------------------------------------------------------------------

@@ -56,6 +56,8 @@ def _chaos_task(name: str, mode_name: str, scale: float, seed: int,
     mode = EngineMode[mode_name]
     plan = FaultPlan.from_json(plan_json)
 
+    from repro.harness.report import run_metrics
+
     clean = run_workload(name, mode, scale=scale, seed=seed)
     log = FaultEventLog()
     with fault_session(plan, log, task=name) as session:
@@ -64,17 +66,9 @@ def _chaos_task(name: str, mode_name: str, scale: float, seed: int,
         retries = sum(s.retries for s in session.states)
         host_fb = sum(s.host_fallbacks for s in session.states)
 
-    def _metrics(r) -> Dict:
-        elems = r.counters.get("stream_elem_accesses", 0.0)
-        remote = r.counters.get("stream_remote_accesses", 0.0)
-        return {"cycles": r.cycles,
-                "flit_hops": r.total_flit_hops,
-                "l3_miss_pct": r.l3_miss_pct,
-                "locality": (1.0 - remote / elems) if elems > 0 else 1.0}
-
     return {"workload": name,
-            "clean": _metrics(clean),
-            "faulted": _metrics(faulted),
+            "clean": run_metrics(clean),
+            "faulted": run_metrics(faulted),
             "retries": retries,
             "host_fallbacks": host_fb,
             "records": [r.to_dict() for r in log.records]}
@@ -111,13 +105,13 @@ class ChaosReport:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
 
     def render(self) -> str:
-        from repro.harness.report import ascii_table
+        from repro.harness.report import ascii_table, ratio, section
         headers = ["workload", "slowdown", "extra hops", "locality clean",
                    "locality faulted", "retries", "host-fb", "restarts"]
         table_rows = []
         for row in self.rows:
             c, f = row["clean"], row["faulted"]
-            slowdown = (f["cycles"] / c["cycles"]) if c["cycles"] else 1.0
+            slowdown = ratio(f["cycles"], c["cycles"])
             table_rows.append([
                 row["workload"], f"{slowdown:.2f}x",
                 f"{f['flit_hops'] - c['flit_hops']:.0f}",
@@ -125,10 +119,9 @@ class ChaosReport:
                 row["retries"], row["host_fallbacks"],
                 self.restarts.get(row["workload"], 0)])
         lines = [str(self.plan), "",
-                 "== Degradation report ==",
-                 ascii_table(headers, table_rows), "",
-                 "== Fault event log ==",
-                 self.log.render(), "",
+                 section("Degradation report",
+                         ascii_table(headers, table_rows)), "",
+                 section("Fault event log", self.log.render()), "",
                  f"handled: {self.log.handled_count()}  "
                  f"unhandled: {self.unhandled_count}"]
         return "\n".join(lines)
@@ -274,7 +267,8 @@ def cli(argv: Optional[List[str]] = None) -> int:
     if args.save_report is not None:
         args.save_report.write_text(report.to_json(), encoding="utf-8")
         print(f"degradation report -> {args.save_report}")
+    from repro.harness.cliutil import EXIT_FAILURE, EXIT_OK
     if report.unhandled_count:
         print(f"ERROR: {report.unhandled_count} unhandled fault event(s)")
-        return 1
-    return 0
+        return EXIT_FAILURE
+    return EXIT_OK

@@ -76,6 +76,14 @@ class FaultState:
         self.log.add(FaultRecord(task=self.task, kind=kind_str,
                                  target=str(target), action=action,
                                  detail=detail, count=count))
+        tracer = self._machine.tracer
+        if tracer is not None:
+            # Retries get their own category in the span taxonomy; every
+            # other record is a generic fault event.
+            cat = "retry" if action == "retry" else "fault"
+            tracer.instant(action, cat,
+                           {"kind": kind_str, "target": str(target),
+                            "detail": detail, "count": count})
 
     def note(self, kind, target, action: str, detail: str = "",
              count: float = 0.0) -> None:

@@ -1,0 +1,34 @@
+"""Shared CLI conventions for the ``python -m repro`` subcommands.
+
+Every subcommand follows the same contract (documented in README):
+
+* exit ``0`` on success,
+* exit ``1`` when the requested check failed (regression over threshold,
+  unhandled fault, trace mismatch, lint finding, ...),
+* exit ``2`` for usage errors (argparse's own convention),
+* accept ``--seed`` so invocations stay uniform across subcommands,
+  even where the underlying computation is seed-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["EXIT_OK", "EXIT_FAILURE", "EXIT_USAGE", "add_seed_argument"]
+
+#: Success.
+EXIT_OK = 0
+#: The command ran but its check failed (regression, mismatch, finding).
+EXIT_FAILURE = 1
+#: Usage error — argparse exits with this on bad arguments.
+EXIT_USAGE = 2
+
+
+def add_seed_argument(parser: argparse.ArgumentParser,
+                      default: int = 0,
+                      help_suffix: str = "") -> None:
+    """Attach the uniform ``--seed`` option to *parser*."""
+    text = f"base RNG seed (default {default})"
+    if help_suffix:
+        text += f"; {help_suffix}"
+    parser.add_argument("--seed", type=int, default=default, help=text)

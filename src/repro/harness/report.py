@@ -1,10 +1,19 @@
-"""ASCII rendering of experiment results (the paper's rows/series)."""
+"""ASCII rendering of experiment results (the paper's rows/series).
+
+Besides the table renderer this module hosts the small formatting
+helpers shared by the chaos/autoplace/trace reports so every CLI
+derives metrics the same way: :func:`run_metrics` (the per-run metric
+dict), :func:`ratio` (guarded division), :func:`section` (titled
+blocks) and :func:`attribution_table` (the per-phase "where did the
+cycles go" breakdown built from ``RunResult.phase_resources``).
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["ascii_table", "render"]
+__all__ = ["ascii_table", "render", "run_metrics", "ratio", "section",
+           "attribution_table"]
 
 
 def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -32,3 +41,56 @@ def render(result) -> str:
     and ``rows()``."""
     body = ascii_table(result.headers, result.rows())
     return f"== {result.title} ==\n{body}"
+
+
+def ratio(numer: float, denom: float, default: float = 1.0) -> float:
+    """``numer / denom`` with a deterministic fallback for zero/absent
+    denominators (slowdowns, recovery factors, locality fractions)."""
+    return numer / denom if denom else default
+
+
+def run_metrics(result) -> Dict[str, float]:
+    """The metric dict every degradation/recovery report is built from.
+
+    One definition, shared by chaos, autoplace and trace, so "locality"
+    or "flit_hops" can never drift apart between reports.
+    """
+    elems = result.counters.get("stream_elem_accesses", 0.0)
+    remote = result.counters.get("stream_remote_accesses", 0.0)
+    return {"cycles": result.cycles,
+            "flit_hops": result.total_flit_hops,
+            "l3_miss_pct": result.l3_miss_pct,
+            "locality": (1.0 - remote / elems) if elems > 0 else 1.0}
+
+
+def section(title: str, body: str) -> str:
+    """A titled report block, in the house ``== title ==`` style."""
+    return f"== {title} ==\n{body}"
+
+
+def attribution_table(result) -> str:
+    """Per-phase cycle attribution: which resource bounded each phase.
+
+    Uses ``RunResult.phase_resources`` (label -> per-resource cycle
+    costs; a phase's duration is the max of its resource costs).  For
+    results recorded before that field existed the table degrades to
+    the plain per-phase cycle list.
+    """
+    resources = list(getattr(result, "phase_resources", ()) or ())
+    total = sum(c for _, c in result.phase_cycles) or 1.0
+    if not resources:
+        rows: List[Sequence] = [
+            [label, f"{cycles:.1f}", f"{100.0 * cycles / total:.1f}%"]
+            for label, cycles in result.phase_cycles]
+        return ascii_table(["phase", "cycles", "% run"], rows)
+    rows = []
+    for label, res in resources:
+        cycles = max(res.values()) if res else 0.0
+        bottleneck = max(res, key=lambda k: res[k]) if res else "-"
+        rows.append([label, f"{cycles:.1f}", f"{100.0 * cycles / total:.1f}%",
+                     bottleneck]
+                    + [f"{res.get(k, 0.0):.1f}"
+                       for k in ("core", "bank", "link", "serial")])
+    return ascii_table(
+        ["phase", "cycles", "% run", "bottleneck",
+         "core", "bank", "link", "serial"], rows)

@@ -115,7 +115,7 @@ def _config_fingerprint() -> str:
 # ----------------------------------------------------------------------
 def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
              cache_dir: Optional[str], crash: bool = False,
-             relayout=None) -> Dict:
+             relayout=None, trace=None) -> Dict:
     """Run one experiment (in this or a worker process) → plain dict.
 
     Figure-level results are cached post-sanitization under a key derived
@@ -132,6 +132,12 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
     migrate drifted arrays online.  The config digest joins the cache
     key; ``None`` leaves the key — and every code path — byte-identical
     to a plain run.
+
+    ``trace`` (a :class:`repro.obs.tracer.TraceConfig`) runs the
+    experiment inside a trace session, with the same digest-extends-key
+    / None-is-byte-identical contract as ``relayout``.  (Cache hits skip
+    execution, so a hit produces no trace events — ``python -m repro
+    trace`` runs workloads directly when events are the point.)
     """
     if crash:
         from repro.analysis.diagnostics import WorkerCrashError
@@ -144,17 +150,21 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
                       config=_config_fingerprint())
     if relayout is not None:
         key_fields["relayout"] = relayout.digest()
+    if trace is not None:
+        key_fields["trace"] = trace.digest()
     key = cache_key("experiment", **key_fields)
     payload = cache.get_json(key) if use_cache else None
     from_cache = payload is not None
     if payload is None:
-        from contextlib import nullcontext
-        session = nullcontext()
-        if relayout is not None:
-            from repro.relayout.engine import relayout_session
-            session = relayout_session(relayout, task=fid)
+        from contextlib import ExitStack
         fn = EXPERIMENTS[fid]
-        with session:
+        with ExitStack() as stack:
+            if relayout is not None:
+                from repro.relayout.engine import relayout_session
+                stack.enter_context(relayout_session(relayout, task=fid))
+            if trace is not None:
+                from repro.obs.tracer import trace_session
+                stack.enter_context(trace_session(trace, task=fid))
             if use_cache:
                 result = fn(scale, seed)
             else:
@@ -276,7 +286,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 results_dir: Optional[os.PathLike] = None,
                 preflight: bool = True,
                 progress: Optional[Callable[[str], None]] = None,
-                fault_plan=None, relayout=None) -> RunReport:
+                fault_plan=None, relayout=None, trace=None) -> RunReport:
     """Run experiments by id, optionally fanned across a process pool.
 
     Args:
@@ -311,6 +321,11 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             results filename is unchanged, so a run whose telemetry
             triggers zero migrations reproduces the plain run's
             ``run-<hash>.json`` byte for byte.
+        trace: optional :class:`repro.obs.tracer.TraceConfig`.  Every
+            experiment runs inside a trace session; the config digest
+            joins each figure's cache key (traced and plain runs never
+            share entries) while the results filename — and, with
+            ``trace=None``, every byte of the run — is unchanged.
 
     Returns:
         A :class:`RunReport`; ``report.figures`` preserves ``ids`` order
@@ -345,7 +360,8 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             while True:
                 try:
                     r = _run_one(fid, scale, seed, use_cache, None,
-                                 crash=remaining > 0, relayout=relayout)
+                                 crash=remaining > 0, relayout=relayout,
+                                 trace=trace)
                 except WorkerCrashError:
                     remaining -= 1
                     attempt += 1
@@ -364,7 +380,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             attempts: Dict[str, int] = {}
             futs = {pool.submit(_run_one, fid, scale, seed, use_cache,
                                 cache_dir, remaining.get(fid, 0) > 0,
-                                relayout): fid
+                                relayout, trace): fid
                     for fid in ids}
             completed = 0
             while futs:
@@ -381,7 +397,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                     futs[pool.submit(_run_one, fid, scale, seed, use_cache,
                                      cache_dir,
                                      remaining.get(fid, 0) > 0,
-                                     relayout)] = fid
+                                     relayout, trace)] = fid
                     continue
                 done[r["id"]] = r
                 completed += 1

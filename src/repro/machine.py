@@ -99,6 +99,12 @@ class Machine:
         # execute the exact original instruction stream.
         self.relayout = None
 
+        # Observability: populated by TraceSession.attach (see
+        # repro.obs.tracer); None when no trace session is active, and
+        # every hook is gated on that None so untraced runs execute the
+        # exact original instruction stream.
+        self.tracer = None
+
     # ------------------------------------------------------------------
     @property
     def num_banks(self) -> int:

@@ -292,8 +292,14 @@ class StreamExecutor:
         in_bl = [self._banks_and_lines(h, np.asarray(i)) for h, i in ins]
         out_bl = self._banks_and_lines(out[0], np.asarray(out[1])) if out else None
 
-        if not self._offloads(st, *(bl[0] for bl in in_bl),
-                              out_bl[0] if out_bl else None):
+        off = self._offloads(st, *(bl[0] for bl in in_bl),
+                             out_bl[0] if out_bl else None)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant("affine_kernel", "stream",
+                       {"offloaded": off, "n": int(n), "inputs": len(ins),
+                        "store": out is not None, "repeat": float(repeat)})
+        if not off:
             # Private caches keep lines shared between input streams of the
             # same array hot (e.g. the three row-offset streams of a
             # stencil): fetch each distinct (core, handle, line) once.
@@ -409,7 +415,13 @@ class StreamExecutor:
         st = self._faults()
         b_banks, _b_lines = self._banks_and_lines(base[0], np.asarray(base[1]))
         t_banks, t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
-        if not self._offloads(st, b_banks, t_banks):
+        off = self._offloads(st, b_banks, t_banks)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant("indirect_gather", "stream",
+                       {"offloaded": off, "n": int(cores.size),
+                        "repeat": float(repeat)})
+        if not off:
             # Private caches keep hot target lines, limited by capacity.
             first, mult, _miss = self._capacity_filter(cores, t_lines)
             c, b = cores[first], t_banks[first]
@@ -443,7 +455,13 @@ class StreamExecutor:
         st = self._faults()
         b_banks, _ = self._banks_and_lines(base[0], np.asarray(base[1]))
         t_banks, _t_lines = self._banks_and_lines(target[0], np.asarray(target[1]))
-        if not self._offloads(st, b_banks, t_banks):
+        off = self._offloads(st, b_banks, t_banks)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant("indirect_atomic", "stream",
+                       {"offloaded": off, "n": int(cores.size),
+                        "repeat": float(repeat)})
+        if not off:
             # Coherence ping-pong: every atomic pulls the line exclusive
             # (request + line) and hands it off again (line out).
             self.rec.traffic.record(cores, t_banks, 0, MessageClass.CONTROL,
@@ -496,7 +514,13 @@ class StreamExecutor:
         nchains = chain_cores.size
         all_cores = np.arange(self.machine.num_cores)
 
-        if not self._offloads(st, banks):
+        off = self._offloads(st, banks)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant("pointer_chase", "stream",
+                       {"offloaded": off, "nodes": int(node_vaddrs.size),
+                        "chains": int(nchains), "repeat": float(repeat)})
+        if not off:
             # Every node is a dependent round trip core <-> bank, except
             # the hot top of the structure (tree roots, list heads) that
             # the private cache retains across chains.
@@ -575,7 +599,12 @@ class StreamExecutor:
         tail_banks = np.asarray(tail_banks, dtype=np.int64)
         slot_banks = np.asarray(slot_banks, dtype=np.int64)
         st = self._faults()
-        if not self._offloads(st, src_banks, tail_banks, slot_banks):
+        off = self._offloads(st, src_banks, tail_banks, slot_banks)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant("queue_push", "stream",
+                       {"offloaded": off, "n": int(cores.size)})
+        if not off:
             # tail counter: coherence atomic; slot store: write-allocate
             self.rec.traffic.record(cores, tail_banks, 0, MessageClass.CONTROL)
             self.rec.traffic.record(tail_banks, cores, self.line, MessageClass.DATA)

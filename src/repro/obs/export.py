@@ -1,0 +1,168 @@
+"""Exporters: Chrome trace-event JSON, flat metrics dumps, trace diffs.
+
+The Chrome trace-event format is the least-common-denominator the
+Perfetto UI (https://ui.perfetto.dev) and ``chrome://tracing`` both
+load: a JSON object with a ``traceEvents`` list of ``ph``-typed events.
+We emit complete spans (``X``), instants (``i``), counter samples
+(``C``), and process-name metadata (``M``); timestamps are simulated
+cycles presented as microseconds (the format has no unit field).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["channel_labels", "chrome_trace", "diff_traces",
+           "metrics_csv_lines", "top_entries", "validate_chrome_trace"]
+
+_ALLOWED_PH = frozenset({"X", "i", "C", "M", "B", "E"})
+_DIRECTIONS = ("E", "W", "N", "S")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event emission
+# ----------------------------------------------------------------------
+def chrome_trace(runs: Iterable[Dict[str, Any]],
+                 other_data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble one Chrome trace from resolved per-run event lists.
+
+    Each entry of *runs* is ``{"pid": int, "label": str,
+    "events": [resolved events from TraceState.resolved_events()]}``.
+    One simulated machine maps to one trace "process".
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for run in runs:
+        pid = int(run["pid"])
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": str(run["label"])}})
+        for ev in run["events"]:
+            base: Dict[str, Any] = {"name": ev["name"], "pid": pid,
+                                    "tid": 0, "ts": ev["ts"]}
+            if ev["type"] == "span":
+                base.update(ph="X", cat=ev["cat"], dur=ev["dur"],
+                            args=ev.get("args", {}))
+            elif ev["type"] == "instant":
+                base.update(ph="i", cat=ev["cat"], s="t",
+                            args=ev.get("args", {}))
+            elif ev["type"] == "counter":
+                base.update(ph="C", args={"value": ev["value"]})
+            else:  # pragma: no cover - resolved_events emits only these
+                continue
+            trace_events.append(base)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(other_data or {}),
+    }
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Structural validation against the trace-event schema.
+
+    Returns a list of problems (empty = valid).  Checks the invariants
+    Perfetto's importer relies on: typed ``ph``, per-event pid/tid/ts,
+    non-negative durations on complete events, categories on spans and
+    instants.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PH:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                problems.append(f"{where}: missing {field}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if ph in ("X", "i") and not isinstance(ev.get("cat"), str):
+            problems.append(f"{where}: {ph} event without cat")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event without args")
+    return problems
+
+
+def diff_traces(a: Dict[str, Any], b: Dict[str, Any],
+                max_report: int = 20) -> List[str]:
+    """Structural diff of two Chrome traces; empty list = identical.
+
+    Determinism is the whole point of the virtual-time tracer, so the
+    comparison is exact: same events, same order, same timestamps.
+    """
+    ea = a.get("traceEvents", []) if isinstance(a, dict) else []
+    eb = b.get("traceEvents", []) if isinstance(b, dict) else []
+    problems: List[str] = []
+    if len(ea) != len(eb):
+        problems.append(f"event count differs: {len(ea)} vs {len(eb)}")
+
+    def signature(events: List[Any]) -> "collections.Counter[Tuple[Any, Any]]":
+        return collections.Counter(
+            (ev.get("ph"), ev.get("name")) for ev in events
+            if isinstance(ev, dict))
+
+    ca, cb = signature(ea), signature(eb)
+    for key in sorted(set(ca) | set(cb), key=str):
+        if ca[key] != cb[key]:
+            ph, name = key
+            problems.append(
+                f"{ph}:{name}: {ca[key]} vs {cb[key]} events")
+    if not problems:
+        for i, (x, y) in enumerate(zip(ea, eb)):
+            if x != y:
+                problems.append(
+                    f"traceEvents[{i}] differs: "
+                    f"{json.dumps(x, sort_keys=True)[:100]} vs "
+                    f"{json.dumps(y, sort_keys=True)[:100]}")
+                if len(problems) >= max_report:
+                    break
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Flat metrics + hot-spot helpers
+# ----------------------------------------------------------------------
+def metrics_csv_lines(data: Dict[str, Dict[str, float]]) -> List[str]:
+    """Flatten ``{run_label: {metric_key: value}}`` to CSV lines."""
+    lines = ["run,metric,value"]
+    for run_label in sorted(data):
+        for key in sorted(data[run_label]):
+            lines.append(f"{run_label},{key},{data[run_label][key]!r}")
+    return lines
+
+
+def channel_labels(mesh: Any) -> List[str]:
+    """Human labels matching :func:`pair_channel_loads` channel order:
+    directed links (tile x 4 directions), then inject, then eject ports."""
+    n = mesh.num_tiles
+    labels = [f"link:{t}{_DIRECTIONS[d]}" for t in range(n) for d in range(4)]
+    labels += [f"inject:{t}" for t in range(n)]
+    labels += [f"eject:{t}" for t in range(n)]
+    return labels
+
+
+def top_entries(values: List[float], labels: List[str],
+                n: int) -> List[Tuple[str, float]]:
+    """Top-``n`` (label, value) pairs, ties broken by original order."""
+    order = sorted(range(len(values)), key=lambda i: (-values[i], i))
+    return [(labels[i], values[i]) for i in order[:n] if values[i] > 0.0]

@@ -46,6 +46,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.perf.compare import compare_bench  # noqa: F401  (re-export)
+
 __all__ = ["run_benches", "write_bench_json", "compare_bench",
            "BENCH_NAMES", "cli"]
 
@@ -256,12 +258,14 @@ def _bench_relayout(sizes: dict) -> Dict[str, dict]:
                                        decide)
 
     scale = sizes["relayout_scale"]
+    seed = sizes.get("relayout_seed", 0)
     reps = sizes["micro_reps"]
     metrics = {}
 
     # End-to-end static + online pair for the canonical drifting stream.
     t0 = time.perf_counter()
-    report = run_autoplace(("stream_flip",), RelayoutConfig(), scale=scale)
+    report = run_autoplace(("stream_flip",), RelayoutConfig(seed=seed),
+                           scale=scale, seed=seed)
     sec = time.perf_counter() - t0
     metrics["autoplace_stream_flip"] = _metric(
         sec, 1, {"scale": scale, "migrations": report.plan.applied_count(),
@@ -311,10 +315,20 @@ def _env_metadata() -> dict:
 
 
 def run_benches(names, smoke: bool = False,
-                progress: Optional[Callable[[str], None]] = None
-                ) -> Dict[str, dict]:
-    """Run the named benches; returns ``{bench_name: payload}``."""
+                progress: Optional[Callable[[str], None]] = None,
+                seed: int = 0,
+                profile_dir: Optional[Path] = None) -> Dict[str, dict]:
+    """Run the named benches; returns ``{bench_name: payload}``.
+
+    ``seed`` feeds the end-to-end benches only (fig12, relayout); the
+    hot-path microbenches pin their own RNG so the CI-gated payloads
+    stay comparable across invocations.  ``profile_dir`` opts into
+    cProfile around each bench, dumping ``BENCH_<name>.prof`` there —
+    the JSON payloads themselves are unchanged by profiling.
+    """
     sizes = dict(_SMOKE if smoke else _FULL)
+    sizes["fig12_seed"] = int(seed)
+    sizes["relayout_seed"] = int(seed)
     out = {}
     for name in names:
         if name not in _BENCHES:
@@ -323,7 +337,17 @@ def run_benches(names, smoke: bool = False,
         if progress:
             progress(f"[bench] {name} ...")
         t0 = time.perf_counter()
-        metrics = _BENCHES[name](sizes)
+        if profile_dir is not None:
+            import cProfile
+            profile_dir.mkdir(parents=True, exist_ok=True)
+            prof = cProfile.Profile()
+            metrics = prof.runcall(_BENCHES[name], sizes)
+            prof_path = profile_dir / f"BENCH_{name}.prof"
+            prof.dump_stats(prof_path)
+            if progress:
+                progress(f"  profile -> {prof_path}")
+        else:
+            metrics = _BENCHES[name](sizes)
         if progress:
             for mname, m in metrics.items():
                 sp = (f"{m['speedup']:.1f}x vs reference"
@@ -349,38 +373,6 @@ def write_bench_json(payloads: Dict[str, dict], out_dir: Path) -> List[Path]:
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         paths.append(path)
     return paths
-
-
-def compare_bench(old: dict, new: dict, threshold: float = 2.0,
-                  metric: str = "both") -> List[str]:
-    """Regression messages for one bench (empty list = no regression).
-
-    A metric regresses when ``seconds`` grows beyond ``threshold`` times
-    the baseline, or its measured ``speedup`` over the reference drops
-    below ``1/threshold`` of the baseline's.  ``metric`` restricts which
-    check runs (``"seconds"``, ``"speedup"``, or ``"both"`` — CI uses
-    ``"speedup"``, which is stable across machines of different speeds).
-    Only metrics whose ``params`` match are compared.
-    """
-    problems = []
-    for name, n in new.get("metrics", {}).items():
-        o = old.get("metrics", {}).get(name)
-        if o is None or o.get("params") != n.get("params"):
-            continue
-        if metric in ("seconds", "both") and o.get("seconds"):
-            if n["seconds"] > o["seconds"] * threshold:
-                problems.append(
-                    f"{new.get('bench', '?')}/{name}: {n['seconds']:.6f}s vs "
-                    f"baseline {o['seconds']:.6f}s "
-                    f"(> {threshold:g}x slowdown)")
-        if metric in ("speedup", "both") and o.get("speedup") \
-                and n.get("speedup"):
-            if n["speedup"] < o["speedup"] / threshold:
-                problems.append(
-                    f"{new.get('bench', '?')}/{name}: speedup "
-                    f"{n['speedup']:.1f}x vs baseline {o['speedup']:.1f}x "
-                    f"(> {threshold:g}x regression)")
-    return problems
 
 
 # ----------------------------------------------------------------------
@@ -410,6 +402,12 @@ def cli(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--compare-metric", default="both",
                         choices=("seconds", "speedup", "both"),
                         help="which measurement --compare judges")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each bench under cProfile and write "
+                             "BENCH_<name>.prof next to the JSONs")
+    from repro.harness.cliutil import add_seed_argument
+    add_seed_argument(parser, help_suffix="feeds the end-to-end benches "
+                                          "(fig12, relayout) only")
     args = parser.parse_args(argv)
 
     names = [n for n in args.only.split(",") if n]
@@ -430,12 +428,15 @@ def cli(argv: Optional[List[str]] = None) -> int:
                 baselines[name] = json.loads(path.read_text())
 
     payloads = run_benches(names, smoke=args.smoke,
-                           progress=lambda line: print(line, flush=True))
+                           progress=lambda line: print(line, flush=True),
+                           seed=args.seed,
+                           profile_dir=out_dir if args.profile else None)
     for path in write_bench_json(payloads, out_dir):
         print(f"wrote {path}")
 
+    from repro.harness.cliutil import EXIT_FAILURE, EXIT_OK
     if not args.compare:
-        return 0
+        return EXIT_OK
     problems = []
     for name, payload in payloads.items():
         if name not in baselines:
@@ -450,9 +451,9 @@ def cli(argv: Optional[List[str]] = None) -> int:
               f"{args.threshold:g}x:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     print(f"\n[compare] no regressions beyond {args.threshold:g}x")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -51,6 +51,9 @@ class RunResult:
     counters: Dict[str, float] = field(default_factory=dict)
     phases: List[PhaseStats] = field(default_factory=list)
     value: object = None  # functional result of the kernel, for checking
+    #: Per-phase resource times (core/bank/link/serial), aligned with
+    #: ``phase_cycles``; each phase's cycles is the max of its entries.
+    phase_resources: List[Tuple[str, Dict[str, float]]] = field(default_factory=list)
 
     @property
     def energy_pj(self) -> float:
@@ -65,7 +68,12 @@ class PerfModel:
         self.perf = machine.config.perf
 
     # ------------------------------------------------------------------
-    def _phase_cycles(self, phase: PhaseStats) -> float:
+    def _phase_resources(self, phase: PhaseStats) -> Dict[str, float]:
+        """Time each resource would take alone; the phase runs at the max.
+
+        Insertion order (core, bank, link, serial) is load-bearing: the
+        attribution table and ``max()`` both iterate it.
+        """
         p = self.perf
         t_core = float(phase.core_ops.max()) / p.core_ops_per_cycle if phase.core_ops.size else 0.0
         bank_busy = (phase.bank_line_accesses * p.bank_access_cycles
@@ -76,7 +84,11 @@ class PerfModel:
         total_pair = sum(phase.pair_flits.values())
         t_link = float(pair_link_loads(self.machine.mesh, total_pair).max())
         t_serial = float(phase.core_serial_cycles.max()) if phase.core_serial_cycles.size else 0.0
-        return max(t_core, t_bank, t_link, t_serial)
+        return {"core": t_core, "bank": t_bank,
+                "link": t_link, "serial": t_serial}
+
+    def _phase_cycles(self, phase: PhaseStats) -> float:
+        return max(self._phase_resources(phase).values())
 
     # ------------------------------------------------------------------
     def evaluate(self, recorder: RunRecorder, *, label: str = "run",
@@ -121,7 +133,9 @@ class PerfModel:
         t_dram = dram.bottleneck_cycles()
 
         # ---------------- per-phase timing ----------------------------
-        phase_cycles = [(ph.label, self._phase_cycles(ph)) for ph in recorder.phases]
+        phase_resources = [(ph.label, self._phase_resources(ph))
+                           for ph in recorder.phases]
+        phase_cycles = [(lbl, max(res.values())) for lbl, res in phase_resources]
         cycles = sum(c for _, c in phase_cycles)
         cycles = max(cycles, t_dram, 1.0)
 
@@ -140,7 +154,7 @@ class PerfModel:
             near_ops=near_ops,
         )
 
-        return RunResult(
+        result = RunResult(
             label=label,
             cycles=cycles,
             phase_cycles=phase_cycles,
@@ -163,4 +177,9 @@ class PerfModel:
             },
             phases=list(recorder.phases),
             value=value,
+            phase_resources=phase_resources,
         )
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.on_run_end(result, recorder)
+        return result

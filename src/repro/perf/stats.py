@@ -149,6 +149,9 @@ class RunRecorder:
         )
         self.phases.append(phase)
         self._mark = now
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.on_phase_end(phase)
         return phase
 
     def has_open_phase(self) -> bool:

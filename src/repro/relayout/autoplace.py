@@ -70,15 +70,6 @@ DEFAULT_SCENARIOS = ("stream_flip", "bfs", "dyn_graph")
 # ----------------------------------------------------------------------
 # Worker
 # ----------------------------------------------------------------------
-def _metrics(r) -> Dict:
-    elems = r.counters.get("stream_elem_accesses", 0.0)
-    remote = r.counters.get("stream_remote_accesses", 0.0)
-    return {"cycles": r.cycles,
-            "flit_hops": r.total_flit_hops,
-            "l3_miss_pct": r.l3_miss_pct,
-            "locality": (1.0 - remote / elems) if elems > 0 else 1.0}
-
-
 def _post_locality(state) -> Optional[float]:
     """Stream locality of the last epoch (after any migrations settled)."""
     for label, total, remote in reversed(state.epoch_locality):
@@ -92,6 +83,7 @@ def _autoplace_task(scenario: str, scale: float, seed: int,
     """One scenario's static + online pair (runs in this or a worker
     process).  Returns plain data only, so results pickle and merge
     identically whatever the process layout."""
+    from repro.harness.report import run_metrics
     from repro.nsc.engine import EngineMode
     from repro.relayout.engine import relayout_session
     from repro.workloads.base import run_workload
@@ -109,8 +101,8 @@ def _autoplace_task(scenario: str, scale: float, seed: int,
         post = _post_locality(state) if post is None else post
     return {"scenario": scenario,
             "workload": workload,
-            "static": _metrics(static),
-            "online": _metrics(online),
+            "static": run_metrics(static),
+            "online": run_metrics(online),
             "migrations": plan.applied_count(),
             "moved_bytes": plan.moved_bytes(),
             "post_locality": post,
@@ -132,8 +124,8 @@ class AutoplaceReport:
 
     @staticmethod
     def recovered(row: Dict) -> float:
-        c = row["static"]["cycles"]
-        return (c / row["online"]["cycles"]) if row["online"]["cycles"] else 1.0
+        from repro.harness.report import ratio
+        return ratio(row["static"]["cycles"], row["online"]["cycles"])
 
     @property
     def best_recovered(self) -> float:
@@ -149,7 +141,7 @@ class AutoplaceReport:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
 
     def render(self) -> str:
-        from repro.harness.report import ascii_table
+        from repro.harness.report import ascii_table, section
         headers = ["scenario", "static cyc", "online cyc", "recovered",
                    "migrations", "moved KiB", "loc static", "loc online",
                    "loc final"]
@@ -163,8 +155,8 @@ class AutoplaceReport:
                 f"{row['moved_bytes'] / 1024:.0f}",
                 f"{s['locality']:.3f}", f"{o['locality']:.3f}",
                 f"{post:.3f}" if post is not None else "-"])
-        lines = ["== Online re-layout report ==",
-                 ascii_table(headers, table_rows), "",
+        lines = [section("Online re-layout report",
+                         ascii_table(headers, table_rows)), "",
                  str(self.plan)]
         return "\n".join(lines)
 
@@ -264,15 +256,16 @@ def cli(argv: Optional[List[str]] = None) -> int:
     if args.save_plan is not None:
         report.plan.save(args.save_plan)
         print(f"migration plan -> {args.save_plan}")
+    from repro.harness.cliutil import EXIT_FAILURE, EXIT_OK
     if args.check_determinism:
         again = run_autoplace(scenarios, cfg, scale=args.scale,
                               seed=args.seed, jobs=2)
         if again.to_json() != report.to_json():
             print("ERROR: report differs between --jobs 1 and --jobs 2")
-            return 1
+            return EXIT_FAILURE
         print("determinism check passed (jobs=1 == jobs=2)")
     if args.min_recovery > 0.0 and report.best_recovered < args.min_recovery:
         print(f"ERROR: best recovered speedup {report.best_recovered:.3f}x "
               f"below required {args.min_recovery:.3f}x")
-        return 1
-    return 0
+        return EXIT_FAILURE
+    return EXIT_OK

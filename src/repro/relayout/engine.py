@@ -283,6 +283,13 @@ class RelayoutState:
                                 detail=f"advisory: {dec.reason}")
             self.records.append(mig)
             out.append(mig)
+            tracer = getattr(self.machine, "tracer", None)
+            if tracer is not None:
+                tracer.instant(mig.kind.value, "migration",
+                               {"target": mig.target, "epoch": mig.epoch,
+                                "applied": mig.applied,
+                                "moved_bytes": mig.moved_bytes,
+                                "detail": mig.detail})
             if mig.applied:
                 applied_any = True
                 self.total_applied += 1

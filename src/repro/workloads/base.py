@@ -23,6 +23,7 @@ from repro.core.policy import BankSelectPolicy, HybridPolicy
 from repro.core.runtime import AffinityAllocator
 from repro.faults.injector import active_fault_session
 from repro.machine import Machine
+from repro.obs.tracer import active_trace_session
 from repro.relayout.engine import active_relayout_session
 from repro.nsc.engine import EngineMode
 from repro.nsc.executor import StreamExecutor
@@ -80,9 +81,16 @@ class RunContext:
 
     def finish(self, label: str, reuse_fraction: float = 1.0,
                value=None) -> RunResult:
-        return PerfModel(self.machine).evaluate(
+        result = PerfModel(self.machine).evaluate(
             self.recorder, label=label, reuse_fraction=reuse_fraction,
             value=value)
+        tracer = self.machine.tracer
+        if tracer is not None and self.allocator is not None:
+            # The allocator is only reachable from the context, not the
+            # machine, so its stats publish here (after evaluate mirrored
+            # the recorder-side counters into the registry).
+            tracer.on_alloc_stats(self.allocator.stats)
+        return result
 
 
 def make_context(mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
@@ -110,6 +118,13 @@ def make_context(mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
         # drives; an inactive session (cfg=None) no-ops, keeping nested
         # static arms static.
         relayout.attach(machine)
+    trace = active_trace_session()
+    if trace is not None:
+        # Observability: attaches a TraceState (machine.tracer) that
+        # buffers span/instant events for virtual-time resolution; an
+        # inactive session (cfg=None) no-ops, keeping untraced runs
+        # byte-identical.
+        trace.attach(machine)
     recorder = RunRecorder(machine)
     executor = StreamExecutor(machine, recorder, mode)
     allocator = None

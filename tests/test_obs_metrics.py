@@ -1,0 +1,179 @@
+"""Metrics registry primitives and the registry==legacy exactness
+contract (DESIGN.md §10): every value published into the registry is a
+bit-exact copy of the legacy counter it mirrors."""
+
+import pytest
+
+from repro.nsc.engine import EngineMode
+from repro.obs import MetricsRegistry, TraceConfig, trace_session
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from repro.workloads.base import run_workload
+
+SCALE = 0.05
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    def test_counter_inc_and_set_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("hits") == 3.5
+        c.set_total(7.0)  # mirror publication overwrites
+        c.set_total(7.0)  # ... idempotently
+        assert reg.value("hits") == 7.0
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("temp")
+        g.set(5.0)
+        g.set(2.0)
+        assert reg.value("temp") == 2.0
+
+    def test_label_sets_are_distinct_and_order_free(self):
+        reg = MetricsRegistry()
+        reg.counter("flits", cls="data").set_total(3.0)
+        reg.counter("flits", cls="req").set_total(4.0)
+        assert reg.value("flits", cls="data") == 3.0
+        assert reg.value("flits", cls="req") == 4.0
+        # kwargs order never matters
+        a = reg.counter("multi", x=1, y=2)
+        b = reg.counter("multi", y=2, x=1)
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.gauge("n")
+        with pytest.raises(TypeError):
+            reg.histogram("n")
+
+    def test_value_defaults_to_zero(self):
+        assert MetricsRegistry().value("never_published") == 0.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        flat = reg.as_dict()
+        assert flat["lat_count"] == 3.0
+        assert flat["lat_sum"] == 555.0
+        assert flat["lat_bucket{le=10}"] == 1.0
+        assert flat["lat_bucket{le=100}"] == 2.0
+        assert flat["lat_bucket{le=+Inf}"] == 3.0
+
+    def test_as_dict_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").set_total(1.0)
+        reg.counter("a").set_total(1.0)
+        keys = list(reg.as_dict())
+        assert keys == sorted(keys)
+
+    def test_metric_kinds(self):
+        assert Counter.kind == "counter"
+        assert Gauge.kind == "gauge"
+        assert Histogram.kind == "histogram"
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+
+
+# ----------------------------------------------------------------------
+# Exactness: registry == legacy counters, for a real traced run
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_run():
+    with trace_session(TraceConfig(), task="exact") as session:
+        result = run_workload("pr_push", EngineMode.AFF_ALLOC, scale=SCALE,
+                              seed=0)
+    (state,) = session.states
+    return state, result
+
+
+class TestExactness:
+    def test_every_runresult_counter_is_mirrored_exactly(self, traced_run):
+        state, result = traced_run
+        assert result.counters  # the contract is vacuous otherwise
+        for key, value in result.counters.items():
+            assert state.registry.value(key) == value, key
+
+    def test_headline_gauges_match(self, traced_run):
+        state, result = traced_run
+        reg = state.registry
+        assert reg.value("run_cycles") == result.cycles
+        assert reg.value("run_energy_pj") == result.energy_pj
+        assert reg.value("l3_miss_pct") == result.l3_miss_pct
+        assert reg.value("noc_utilization") == result.noc_utilization
+
+    def test_flit_hops_by_class_match(self, traced_run):
+        state, result = traced_run
+        for cls, hops in result.flit_hops_by_class.items():
+            assert state.registry.value("flit_hops", cls=cls) == hops
+
+    def test_alloc_stats_mirrored_exactly(self, traced_run):
+        import dataclasses
+        state, _ = traced_run
+        stats = state._alloc_stats
+        assert stats is not None
+        for f in dataclasses.fields(stats):
+            assert state.registry.value(f"alloc_{f.name}") == \
+                float(getattr(stats, f.name)), f.name
+
+    def test_phase_histogram_sums_to_run_cycles(self, traced_run):
+        state, result = traced_run
+        flat = state.registry.as_dict()
+        assert flat["phase_cycles_count"] == float(len(result.phase_cycles))
+        assert flat["phase_cycles_sum"] == pytest.approx(
+            sum(c for _, c in result.phase_cycles))
+        assert state.registry.value("phases") == \
+            float(len(result.phase_cycles))
+
+    def test_republication_is_idempotent(self, traced_run):
+        """A second run on the same machine rebuilds the registry; here we
+        just re-dump and compare — values must not drift on read."""
+        state, _ = traced_run
+        assert state.registry.as_dict() == state.registry.as_dict()
+
+
+class TestFaultAndRelayoutPublication:
+    def test_fault_counters_published_under_chaos(self):
+        from repro.faults.injector import fault_session
+        from repro.faults.plan import FaultPlan
+        plan = FaultPlan.generate(seed=3, rate=0.5, tasks=1)
+        with trace_session(TraceConfig()) as tsess:
+            with fault_session(plan, task="t") as fsess:
+                run_workload("vecadd", EngineMode.AFF_ALLOC, scale=SCALE,
+                             seed=0)
+        (state,) = tsess.states
+        (fstate,) = fsess.states
+        reg = state.registry
+        assert reg.value("fault_retries") == float(fstate.retries)
+        assert reg.value("fault_host_fallbacks") == \
+            float(fstate.host_fallbacks)
+        assert reg.value("fault_armed_alloc_ordinals") == \
+            float(len(fstate.alloc_fail_ordinals))
+
+    def test_relayout_counters_published_online(self):
+        from repro.relayout.engine import relayout_session
+        from repro.relayout.policy import RelayoutConfig
+        with trace_session(TraceConfig()) as tsess:
+            with relayout_session(RelayoutConfig(), task="t") as rsess:
+                run_workload("stream_flip", EngineMode.AFF_ALLOC,
+                             scale=0.25, seed=0)
+        states = [s for s in tsess.states if s.runs]
+        assert states
+        reg = states[-1].registry
+        (rstate,) = rsess.states
+        assert reg.value("relayout_applied_total") == \
+            float(rstate.total_applied)
+        assert reg.value("relayout_epochs") == float(rstate.epoch_index)
+        mig_events = [ev for s in tsess.states
+                      for ev in s.resolved_events()
+                      if ev.get("cat") == "migration"]
+        if rstate.total_applied:
+            assert mig_events

@@ -178,3 +178,97 @@ class TestPhases:
         labels = [p.label for p in r.phases]
         relabels = [lb for lb in labels if lb.startswith("relayout@")]
         assert relabels, f"no relayout phase in {labels}"
+
+
+# ----------------------------------------------------------------------
+# Shared report helpers (harness.report)
+# ----------------------------------------------------------------------
+class TestSharedHelpers:
+    def test_ratio_guards_zero_denominator(self):
+        from repro.harness.report import ratio
+        assert ratio(6.0, 3.0) == 2.0
+        assert ratio(6.0, 0.0) == 1.0
+        assert ratio(6.0, 0.0, default=0.0) == 0.0
+
+    def test_section_house_style(self):
+        from repro.harness.report import section
+        assert section("Title", "body") == "== Title ==\nbody"
+
+    def test_run_metrics_matches_result_fields(self):
+        from repro.harness.report import run_metrics
+
+        class R:
+            cycles = 100.0
+            total_flit_hops = 42.0
+            l3_miss_pct = 7.0
+            counters = {"stream_elem_accesses": 10.0,
+                        "stream_remote_accesses": 4.0}
+
+        m = run_metrics(R())
+        assert m == {"cycles": 100.0, "flit_hops": 42.0,
+                     "l3_miss_pct": 7.0, "locality": 0.6}
+
+    def test_run_metrics_locality_defaults_to_one(self):
+        from repro.harness.report import run_metrics
+
+        class R:
+            cycles = 1.0
+            total_flit_hops = 0.0
+            l3_miss_pct = 0.0
+            counters = {}
+
+        assert run_metrics(R())["locality"] == 1.0
+
+    def test_chaos_and_autoplace_use_the_shared_metrics(self):
+        # the dedup contract: neither module carries its own _metrics
+        import repro.faults.chaos as chaos
+        import repro.relayout.autoplace as autoplace
+        assert not hasattr(chaos, "_metrics")
+        assert not hasattr(autoplace, "_metrics")
+
+
+class TestAttributionTable:
+    def _result(self):
+        class R:
+            phase_cycles = [("setup", 10.0), ("stream", 90.0)]
+            phase_resources = [
+                ("setup", {"core": 10.0, "bank": 2.0, "link": 1.0,
+                           "serial": 0.0}),
+                ("stream", {"core": 5.0, "bank": 60.0, "link": 90.0,
+                            "serial": 0.0}),
+            ]
+        return R()
+
+    def test_bottleneck_and_percentages(self):
+        from repro.harness.report import attribution_table
+        out = attribution_table(self._result())
+        lines = out.split("\n")
+        assert "bottleneck" in lines[0]
+        setup_row = next(ln for ln in lines if ln.startswith("setup"))
+        stream_row = next(ln for ln in lines if ln.startswith("stream"))
+        assert "core" in setup_row and "10.0%" in setup_row
+        assert "link" in stream_row and "90.0%" in stream_row
+
+    def test_degrades_without_phase_resources(self):
+        from repro.harness.report import attribution_table
+
+        class R:
+            phase_cycles = [("tail", 50.0)]
+            phase_resources = []
+
+        out = attribution_table(R())
+        assert "bottleneck" not in out
+        assert "tail" in out and "100.0%" in out
+
+    def test_real_run_attribution(self):
+        from repro.harness.report import attribution_table
+        from repro.nsc.engine import EngineMode
+        from repro.workloads import run_workload
+        r = run_workload("vecadd", EngineMode.AFF_ALLOC, scale=0.05, seed=0)
+        assert r.phase_resources  # populated by PerfModel.evaluate
+        out = attribution_table(r)
+        assert "tail" in out
+        # per-phase duration is the max over resources, by construction
+        for (lbl, res), (_lbl2, cyc) in zip(r.phase_resources,
+                                            r.phase_cycles):
+            assert max(res.values()) == cyc
