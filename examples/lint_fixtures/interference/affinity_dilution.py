@@ -1,0 +1,23 @@
+"""INT004: the victim's 1 KiB-stride array concentrates half its weight
+on a couple of banks (stride-1024 elements over a 64B interleave visit
+every 16th bank), and a co-tenant with the same stride pattern but 200x
+the footprint dominates exactly those banks — the victim's streams are
+pushed off-bank even though no global INT003 threshold may be involved
+for it.
+
+Run: PYTHONPATH=src python -m repro lint --plans \
+         examples/lint_fixtures/interference/affinity_dilution.py
+"""
+
+from repro.analysis.interference import Tenant
+from repro.analysis.plan import LayoutPlan
+
+EXPECT = ["INT004"]
+
+
+def tenants():
+    victim = LayoutPlan("victim")
+    victim.array("mine", 1024, 1024)
+    hog = LayoutPlan("hog")
+    hog.array("theirs", 1024, 200_000)
+    return [Tenant("victim", victim), Tenant("hog", hog)]

@@ -1,0 +1,29 @@
+"""INT002: each tenant's plan fits its pool alone, but the *aggregate*
+demand across tenants overflows the 64B pool's virtual reservation —
+and one tenant also busts its declared admission quota.
+
+Run: PYTHONPATH=src python -m repro lint --plans \
+         examples/lint_fixtures/interference/aggregate_overflow.py
+"""
+
+from repro.analysis.interference import Tenant
+from repro.analysis.plan import LayoutPlan
+from repro.vm.layout import VirtualLayout
+
+EXPECT = ["INT002"]
+
+
+def tenants():
+    # Three tenants at 40% of the 64B pool reservation each: any one is
+    # fine (no AFF006), together they need 120%.
+    per_tenant = int(VirtualLayout.POOL_STRIDE * 0.4)
+    out = []
+    for name in ("svc-a", "svc-b", "svc-c"):
+        plan = LayoutPlan(name)
+        plan.array("buf", 4, per_tenant // 4)
+        out.append(Tenant(name, plan))
+    # ... and one small tenant whose quota is tighter than its demand.
+    capped = LayoutPlan("capped")
+    capped.array("slab", 4, 1 << 16)  # 256 KiB demand
+    out.append(Tenant("capped", capped, quota_bytes=1 << 16))
+    return out

@@ -1,0 +1,38 @@
+"""INT001: tenant plans claim more distinct interleaves than the IOT
+holds bank-range entries.
+
+The default Table 2 machine has 16 IOT entries and only 7 pool
+interleavings, so capacity can never conflict; this fixture models a
+cost-down part with a 2-entry IOT shared by three tenants whose plans
+need three distinct interleavings.
+
+Run: PYTHONPATH=src python -m repro lint --plans \
+         examples/lint_fixtures/interference/conflicting_interleaves.py
+"""
+
+import dataclasses
+
+from repro.analysis.interference import Tenant
+from repro.analysis.plan import LayoutPlan
+from repro.config import DEFAULT_CONFIG
+
+EXPECT = ["INT001"]
+
+
+def config():
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        cache=dataclasses.replace(DEFAULT_CONFIG.cache, iot_entries=2))
+
+
+def tenants():
+    lines = LayoutPlan("lines")
+    lines.array("stream", 4, 1 << 14)           # 64B line pool
+
+    mid = LayoutPlan("mid")
+    mid.demand(2048, 100, label="records")      # 2 KiB pool
+
+    big = LayoutPlan("big")
+    big.demand(4096, 50, label="blobs")         # 4 KiB pool
+
+    return [Tenant("lines", lines), Tenant("mid", mid), Tenant("big", big)]

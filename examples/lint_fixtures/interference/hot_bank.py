@@ -1,0 +1,23 @@
+"""INT003: two tenants' small hot arrays both land on the first banks
+(the solver starts line-interleaved arrays at bank 0), so the aggregate
+predicted weight concentrates far beyond the mean — a hotspot no
+single-plan lint can see, because each plan is unremarkable alone.
+
+Run: PYTHONPATH=src python -m repro lint --plans \
+         examples/lint_fixtures/interference/hot_bank.py
+"""
+
+from repro.analysis.interference import Tenant
+from repro.analysis.plan import LayoutPlan
+
+EXPECT = ["INT003"]
+
+
+def tenants():
+    # Each array spans only a handful of 64B slots, so its whole weight
+    # sits on the first few banks; two tenants stack on the same ones.
+    a = LayoutPlan("counter-svc")
+    a.array("counters", 4, 128)
+    b = LayoutPlan("flag-svc")
+    b.array("flags", 4, 128)
+    return [Tenant("counter-svc", a), Tenant("flag-svc", b)]

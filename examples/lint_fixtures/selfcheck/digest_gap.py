@@ -1,0 +1,21 @@
+"""GRD002 fixture: a run function gained a behavior-changing parameter
+(``relayout``) without extending its cache-key digest — two calls that
+differ only in that parameter would collide on one cache entry.  A
+complete sibling is present and must NOT be flagged."""
+
+from repro.cache import cache_key
+
+EXPECT = ["GRD002"]
+
+
+def run_stale(fid, scale, seed, relayout, use_cache=True):
+    # GRD002: `relayout` changes the result but never reaches the key.
+    key_fields = dict(id=fid, scale=scale, seed=seed)
+    return cache_key("experiment", **key_fields)
+
+
+def run_fresh(fid, scale, seed, relayout, use_cache=True):
+    key_fields = dict(id=fid, scale=scale, seed=seed)
+    if relayout is not None:
+        key_fields["relayout"] = relayout.digest()
+    return cache_key("experiment", **key_fields)

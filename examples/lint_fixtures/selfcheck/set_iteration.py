@@ -1,0 +1,28 @@
+"""DET002 fixture: unordered set iteration feeding an ordered result.
+Order-insensitive reductions over the same sets are present and must
+NOT be flagged."""
+
+EXPECT = ["DET002"]
+
+
+def merge_logs(logs):
+    seen = set()
+    for log in logs:
+        seen.update(log)
+    merged = []
+    for entry in seen:        # DET002: set order leaks into the merge
+        merged.append(entry)
+    return merged
+
+
+def summarize(banks):
+    hot = {b for b in banks if b > 8}
+    return list(hot)          # DET002: materializes set order
+
+
+def count_hot(banks):
+    return sum(1 for b in set(banks) if b > 8)   # fine: order-free sum
+
+
+def hottest(banks):
+    return max(set(banks))                       # fine: order-free max

@@ -1,0 +1,46 @@
+"""GRD001 fixture: feature-state access without the is-None clean-path
+guard.  Every shipped guard idiom is also present and must NOT be
+flagged."""
+
+EXPECT = ["GRD001"]
+
+
+class Executor:
+    def __init__(self, machine):
+        self.machine = machine
+
+    def record_bad(self, kind):
+        # GRD001: machine.faults is None on the clean path.
+        self.machine.faults.note(kind)
+
+    def record_alias_bad(self, kind):
+        st = self.machine.faults
+        st.note(kind)                        # GRD001: alias never guarded
+
+    def record_good(self, kind):
+        st = self.machine.faults
+        if st is not None:
+            st.note(kind)                    # fine: alias-then-guard
+
+    def record_direct_good(self, kind):
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(kind)   # fine: direct guard
+
+    def mask_good(self):
+        st = self.machine.faults
+        return st.policy_mask() if st is not None else None   # fine
+
+    def epoch_good(self):
+        state = self.machine.relayout
+        if state is None:
+            return 0
+        return state.epoch                   # fine: early return
+
+    def assert_good(self):
+        st = self.machine.faults
+        assert st is not None
+        return st.log                        # fine: assert dominates
+
+    def chain_good(self):
+        return (self.machine.tracer is not None
+                and self.machine.tracer.enabled)   # fine: and-chain

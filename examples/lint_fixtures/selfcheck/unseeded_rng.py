@@ -1,0 +1,26 @@
+"""DET001 fixture: every flavor of unseeded randomness the sanitizer
+must catch.  This module is *linted as source*, never imported by the
+simulator."""
+
+import random                        # DET001: stdlib random import
+
+import numpy as np
+
+EXPECT = ["DET001"]
+
+
+def shuffle_tasks(tasks):
+    random.shuffle(tasks)            # DET001: process-global stdlib RNG
+    return tasks
+
+
+def jitter():
+    return np.random.rand()          # DET001: numpy legacy global RNG
+
+
+def fresh_generator():
+    return np.random.default_rng()   # DET001: unseeded -> OS entropy
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)   # fine: seed threaded through

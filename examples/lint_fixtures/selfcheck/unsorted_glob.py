@@ -1,0 +1,25 @@
+"""DET002 fixture: filesystem-order iteration merged into one artifact.
+The sorted() variants are present and must NOT be flagged."""
+
+import os
+from pathlib import Path
+
+EXPECT = ["DET002"]
+
+
+def merge_shards(root: Path):
+    rows = []
+    for shard in root.glob("shard-*.json"):   # DET002: filesystem order
+        rows.append(shard.read_text())
+    return rows
+
+
+def list_results(root):
+    return list(os.listdir(root))             # DET002: filesystem order
+
+
+def merge_shards_stable(root: Path):
+    rows = []
+    for shard in sorted(root.glob("shard-*.json")):   # fine: sorted
+        rows.append(shard.read_text())
+    return rows

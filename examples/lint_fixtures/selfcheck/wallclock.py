@@ -1,0 +1,19 @@
+"""DET001 fixture: wall-clock reads that could leak into results.
+Monotonic timers are deliberately present and must NOT be flagged."""
+
+import time
+from datetime import datetime
+
+EXPECT = ["DET001"]
+
+
+def stamp_result(result):
+    result["generated_at"] = time.time()          # DET001: wall clock
+    result["pretty"] = datetime.now().isoformat()  # DET001: wall clock
+    return result
+
+
+def measure(fn):
+    t0 = time.perf_counter()                      # fine: monotonic
+    fn()
+    return time.perf_counter() - t0

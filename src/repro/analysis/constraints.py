@@ -37,8 +37,8 @@ from repro.core.api import AffineArray
 from repro.machine import Machine
 from repro.vm.layout import VirtualLayout
 
-__all__ = ["lint_plan", "lint_allocator", "PADDING_WASTE_THRESHOLD",
-           "POOL_PRESSURE_THRESHOLD"]
+__all__ = ["lint_plan", "lint_allocator", "plan_pool_demand",
+           "PADDING_WASTE_THRESHOLD", "POOL_PRESSURE_THRESHOLD"]
 
 #: AFF005 fires when padding wastes more than this fraction of footprint.
 PADDING_WASTE_THRESHOLD = 0.5
@@ -80,6 +80,46 @@ def _array_footprint(spec: PlannedArray, layout: AffineLayout) -> int:
     return (spec.num_elem - 1) * stride + spec.elem_size
 
 
+def plan_pool_demand(plan: LayoutPlan, layouts: Dict[str, AffineLayout],
+                     pools, page_size: int) -> Tuple[Dict[int, int], int]:
+    """Predicted bytes each interleave pool must back for one plan.
+
+    Returns ``(pool_demand, paged_demand)``: bytes per pool interleave
+    (page frames for PAGED layouts land on the ``page_size`` pool, the
+    same frames a partitioned allocation draws at runtime) and the
+    virtual-range bytes consumed from the paged segment.  Pure — shared
+    by the single-plan AFF006 check and the cross-plan interference
+    analyzer's aggregate INT002 check, so both predict with one formula.
+    """
+    pool_demand: Dict[int, int] = {}
+    paged_demand = 0
+    seen: set = set()
+    for pa in plan.arrays:
+        if pa.name in seen:
+            continue  # duplicate names are an AFF003 error, counted once
+        seen.add(pa.name)
+        layout = layouts.get(pa.name)
+        if layout is None or layout.kind is LayoutKind.FALLBACK:
+            continue
+        footprint = _array_footprint(pa, layout)
+        if layout.kind is LayoutKind.POOL:
+            nslots = -(-footprint // layout.intrlv)
+            pool_demand[layout.intrlv] = (pool_demand.get(layout.intrlv, 0)
+                                          + nslots * layout.intrlv)
+        else:  # PAGED: virtual range + page frames from the 4 KiB pool
+            nchunks = -(-footprint // layout.intrlv)
+            paged_demand += nchunks * layout.intrlv
+            pool_demand[page_size] = (pool_demand.get(page_size, 0)
+                                      + nchunks * layout.intrlv)
+    for dem in plan.irregular:
+        intrlv = pools.round_to_valid_interleave(dem.size)
+        if intrlv is None:
+            continue  # AFF004 error; no pool to charge
+        pool_demand[intrlv] = (pool_demand.get(intrlv, 0)
+                               + dem.count * intrlv)
+    return pool_demand, paged_demand
+
+
 def lint_plan(plan: LayoutPlan, machine: Optional[Machine] = None,
               ) -> Tuple[DiagnosticReport, Dict[str, AffineLayout]]:
     """Statically resolve every planned array and diagnose AFF0xx issues.
@@ -95,8 +135,6 @@ def lint_plan(plan: LayoutPlan, machine: Optional[Machine] = None,
     report = DiagnosticReport()
     layouts: Dict[str, AffineLayout] = {}
     strides: Dict[str, int] = {}
-    pool_demand: Dict[int, int] = {}
-    paged_demand = 0
 
     seen: Dict[str, PlannedArray] = {}
     for pa in plan.arrays:
@@ -161,31 +199,17 @@ def lint_plan(plan: LayoutPlan, machine: Optional[Machine] = None,
                     fix_hint="restructure the element ratio so Eq. 3 "
                              "yields a legal interleave without padding"))
 
-        footprint = _array_footprint(pa, layout)
-        if layout.kind is LayoutKind.POOL:
-            nslots = -(-footprint // layout.intrlv)
-            pool_demand[layout.intrlv] = (pool_demand.get(layout.intrlv, 0)
-                                          + nslots * layout.intrlv)
-        else:  # PAGED: virtual range + page frames from the 4 KiB pool
-            nchunks = -(-footprint // layout.intrlv)
-            paged_demand += nchunks * layout.intrlv
-            pool_demand[page] = (pool_demand.get(page, 0)
-                                 + nchunks * layout.intrlv)
-
     for dem in plan.irregular:
         site = Site("alloc", dem.label, detail=f"plan {plan.name}")
-        intrlv = pools.round_to_valid_interleave(dem.size)
-        if intrlv is None:
+        if pools.round_to_valid_interleave(dem.size) is None:
             report.add(Diagnostic(
                 "AFF004", Severity.ERROR, site,
                 f"irregular objects of {dem.size}B exceed the largest "
                 f"interleaving ({pools.interleaves[-1]}B)",
                 fix_hint="use an affine allocation for objects beyond "
                          "the largest pool interleave"))
-            continue
-        pool_demand[intrlv] = (pool_demand.get(intrlv, 0)
-                               + dem.count * intrlv)
 
+    pool_demand, paged_demand = plan_pool_demand(plan, layouts, pools, page)
     for intrlv, demand in sorted(pool_demand.items()):
         if demand > VirtualLayout.POOL_STRIDE:
             report.add(Diagnostic(

@@ -9,7 +9,10 @@ Codes are grouped by pass:
 * ``LIF0xx`` — allocation lifetime checker,
 * ``RACE0xx`` — stream-graph hazard detector,
 * ``COV0xx`` — static affinity-coverage estimator,
-* ``CHS0xx`` — chaos fault-log replay checker.
+* ``CHS0xx`` — chaos fault-log replay checker,
+* ``INT0xx`` — cross-plan (multi-tenant) interference analyzer,
+* ``DET0xx`` / ``GRD0xx`` — the self-sanitizer over this repository's
+  own source (determinism and clean-path guard discipline).
 
 The module also defines the :class:`AffinityError` exception hierarchy
 used by the runtime's error paths.  Every class subclasses
@@ -66,19 +69,33 @@ class Site:
 
     Attributes:
         kind: object class — ``"array"``, ``"alloc"``, ``"stream"``,
-            ``"kernel"``, ``"pool"``, or ``"plan"``.
+            ``"kernel"``, ``"pool"``, ``"plan"``, ``"tenant"``,
+            ``"bank"``, or ``"file"``.
         name: the object's name (array/stream/kernel name, pool size,
             or a formatted address for anonymous allocations).
         detail: optional extra location context (e.g. owning kernel).
+        file: source path, for diagnostics anchored to code (the
+            self-sanitizer); empty for runtime-object sites.
+        line: 1-based source line when ``file`` is set, else 0.
     """
 
     kind: str
     name: str
     detail: str = ""
+    file: str = ""
+    line: int = 0
 
     def __str__(self) -> str:
+        if self.file:
+            base = f"{self.file}:{self.line}"
+            return f"{base} ({self.detail})" if self.detail else base
         base = f"{self.kind} {self.name!r}"
         return f"{base} ({self.detail})" if self.detail else base
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable machine-readable form (one key per field, always)."""
+        return {"kind": self.kind, "name": self.name, "detail": self.detail,
+                "file": self.file, "line": self.line}
 
 
 #: Registry of every diagnostic code afflint can emit.
@@ -112,6 +129,23 @@ CODES: Dict[str, str] = {
     "RLY002": "migration applied by the online re-layout engine",
     "RLY003": "migration decision skipped (ineligible or unsafe)",
     "RLY004": "epoch exceeded the plan's max-per-epoch migration bound",
+    # Cross-plan interference analyzer -----------------------------------
+    "INT001": "conflicting interleave claims exceed the IOT's bank-range "
+              "entries",
+    "INT002": "aggregate capacity/quota overflow on an interleave pool",
+    "INT003": "predicted hot-bank contention across tenant plans",
+    "INT004": "tenant placement dilutes another tenant's affinity",
+    "INT005": "contention prediction diverges from measured traffic "
+              "beyond tolerance",
+    # Self-sanitizer: determinism ----------------------------------------
+    "DET001": "unseeded randomness or wallclock reachable from "
+              "simulation paths",
+    "DET002": "unordered set/filesystem iteration feeding results or "
+              "merged logs",
+    # Self-sanitizer: guard discipline -----------------------------------
+    "GRD001": "feature-state attribute access not dominated by an "
+              "is-None clean-path guard",
+    "GRD002": "cache-key parameter missing from the figure-cache digest",
 }
 
 
@@ -134,6 +168,16 @@ class Diagnostic:
         if self.fix_hint:
             line += f"\n    fix: {self.fix_hint}"
         return line
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable machine-readable form — one object per diagnostic.
+
+        The key set is frozen (schema ``afflint-diagnostics/1``); new
+        fields may be added but existing keys never change meaning.
+        """
+        return {"code": self.code, "severity": str(self.severity),
+                "site": self.site.to_dict(), "message": self.message,
+                "fix_hint": self.fix_hint}
 
     def __str__(self) -> str:
         return self.render()

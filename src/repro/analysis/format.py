@@ -1,0 +1,78 @@
+"""Render a :class:`DiagnosticReport` as text, JSON, or GitHub
+annotations (``repro lint --format``).
+
+The JSON form is a stable machine-readable schema
+(``afflint-diagnostics/1``): one object per diagnostic with the frozen
+key set from :meth:`Diagnostic.to_dict`, plus a summary block.  Keys
+never change meaning; new keys may be added.
+
+The GitHub form emits one workflow command per diagnostic
+(``::error file=...,line=...,title=CODE::message``) so findings
+annotate PR diffs directly; diagnostics anchored to runtime objects
+rather than files drop the file/line properties.  A problem matcher for
+the *text* form ships in ``.github/afflint-problem-matcher.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.diagnostics import (
+    DiagnosticReport,
+    Diagnostic,
+    Severity,
+)
+
+__all__ = ["SCHEMA", "FORMATS", "report_to_json", "render_report"]
+
+SCHEMA = "afflint-diagnostics/1"
+FORMATS = ("text", "json", "github")
+
+_GITHUB_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "notice",
+}
+
+
+def report_to_json(report: DiagnosticReport) -> Dict[str, object]:
+    """The report as a JSON-serializable dict (schema afflint-diagnostics/1)."""
+    return {
+        "schema": SCHEMA,
+        "findings": [d.to_dict() for d in report],
+        "summary": {
+            "errors": report.count(Severity.ERROR),
+            "warnings": report.count(Severity.WARNING),
+            "notes": report.count(Severity.NOTE),
+        },
+    }
+
+
+def _github_line(diag: Diagnostic) -> str:
+    level = _GITHUB_LEVEL[diag.severity]
+    props = []
+    if diag.site.file:
+        props.append(f"file={diag.site.file}")
+        props.append(f"line={diag.site.line}")
+    props.append(f"title={diag.code}")
+    message = diag.message
+    if not diag.site.file:
+        message = f"{diag.site}: {message}"
+    # Workflow-command payloads are single-line; escape per the spec.
+    message = (message.replace("%", "%25").replace("\r", "%0D")
+               .replace("\n", "%0A"))
+    return f"::{level} {','.join(props)}::{message}"
+
+
+def render_report(report: DiagnosticReport, fmt: str = "text") -> str:
+    """Render ``report`` in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return report.render()
+    if fmt == "json":
+        return json.dumps(report_to_json(report), indent=1, sort_keys=True)
+    if fmt == "github":
+        lines: List[str] = [_github_line(d) for d in report]
+        lines.append(f"afflint: {report.summary()}")
+        return "\n".join(lines)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

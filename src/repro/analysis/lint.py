@@ -12,7 +12,21 @@ into one deduplicated :class:`DiagnosticReport`:
 4. static coverage estimation per kernel (and per plan, as notes).
 
 The CLI lints the shipped workloads' layout plans by default, or fixture
-files (modules defining ``build(session)``) when paths are given.
+files (modules defining ``build(session)``) when paths are given.  Two
+further modes cover the v2 passes:
+
+* ``--plans SPEC`` runs the cross-plan interference analyzer
+  (:mod:`repro.analysis.interference`) over a *set* of tenants — either
+  comma-separated shipped workload names or a fixture module defining
+  ``tenants()`` (and optionally ``config()``) — emitting INT001-INT004,
+  plus INT005 under ``--verify-traffic`` (predictions held to measured
+  counters).
+* ``--self [PATHS]`` runs the determinism/guard sanitizer
+  (:mod:`repro.analysis.selfcheck`) over this repository's own source
+  (default: the installed ``repro`` package), emitting DET/GRD codes.
+
+``--format text|json|github`` selects the output encoding in every
+mode (see :mod:`repro.analysis.format`).
 """
 
 from __future__ import annotations
@@ -31,7 +45,7 @@ from repro.core.runtime import AffinityAllocator
 from repro.machine import Machine
 
 __all__ = ["LintSession", "LintResult", "run_passes", "lint_fixture_file",
-           "lint_workload_plans", "cli"]
+           "lint_workload_plans", "load_tenant_fixture", "cli"]
 
 
 class LintSession:
@@ -145,12 +159,7 @@ def lint_fixture_file(path, strict: bool = False,
                       config: SystemConfig = DEFAULT_CONFIG) -> LintResult:
     """Lint one fixture module (must define ``build(session)``)."""
     path = Path(path)
-    spec = importlib.util.spec_from_file_location(
-        f"lint_fixture_{path.stem}", path)
-    if spec is None or spec.loader is None:
-        raise ImportError(f"cannot load fixture {path}")
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
+    module = _load_fixture_module(path, "lint_fixture")
     build = getattr(module, "build", None)
     if build is None:
         raise ImportError(f"fixture {path} defines no build(session)")
@@ -181,6 +190,98 @@ def lint_workload_plans(scale: float = 0.12,
     return result, per_workload
 
 
+def _load_fixture_module(path: Path, prefix: str):
+    spec = importlib.util.spec_from_file_location(
+        f"{prefix}_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load fixture {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def load_tenant_fixture(path) -> Tuple[list, Machine]:
+    """Load a tenant-set fixture: a module defining ``tenants()`` (a
+    list of :class:`~repro.analysis.interference.Tenant`) and optionally
+    ``config()`` (a :class:`SystemConfig` for the shared machine)."""
+    path = Path(path)
+    module = _load_fixture_module(path, "tenant_fixture")
+    tenants_fn = getattr(module, "tenants", None)
+    if tenants_fn is None:
+        raise ImportError(f"tenant fixture {path} defines no tenants()")
+    config_fn = getattr(module, "config", None)
+    config = config_fn() if config_fn is not None else DEFAULT_CONFIG
+    return list(tenants_fn()), Machine(config)
+
+
+def _cli_self(args) -> int:
+    from repro.analysis.format import render_report
+    from repro.analysis.selfcheck import selfcheck_paths
+
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        import repro
+        targets = [Path(repro.__file__).parent]
+    report = selfcheck_paths(targets)
+    print(render_report(report, args.format))
+    if args.expect_findings:
+        return 0 if report.has_findings else 1
+    if report.has_errors or (args.strict and report.has_findings):
+        return 1
+    return 0
+
+
+def _cli_plans(args) -> int:
+    from repro.analysis import interference as itf
+    from repro.analysis.format import render_report
+
+    spec = args.plans
+    if spec.endswith(".py"):
+        if args.verify_traffic:
+            print("--verify-traffic needs workload-name tenants (it runs "
+                  "the named workloads); got a fixture file")
+            return 2
+        tenants, machine = load_tenant_fixture(spec)
+    else:
+        names = [s.strip() for s in spec.split(",") if s.strip()]
+        from repro.workloads import WORKLOADS
+        unknown = [n for n in names if n not in WORKLOADS]
+        if not names or unknown:
+            print(f"--plans expects shipped workload names or a .py "
+                  f"fixture; unknown: {', '.join(unknown) or '(empty)'}")
+            return 2
+        tenants = itf.tenants_from_workloads(names, scale=args.scale)
+        machine = Machine()
+
+    result = itf.analyze_interference(tenants, machine)
+    report = result.report
+    rows = []
+    if args.verify_traffic:
+        vreport, rows = itf.validate_contention(
+            tenants, scale=args.scale, seed=args.seed)
+        report.extend(vreport)
+
+    if args.format == "text":
+        print(result.matrix.render())
+        print()
+        for row in rows:
+            print(f"verify {row.tenant}: access TVD {row.access_tvd:.3f} "
+                  f"(tol {itf.ACCESS_SHARE_TOLERANCE}), flit TVD "
+                  f"{row.flit_tvd:.3f} (tol {itf.FLIT_SHARE_TOLERANCE})")
+        if rows:
+            print()
+        print(report.render())
+    else:
+        print(render_report(report, args.format))
+
+    if args.expect_findings:
+        return 0 if report.has_findings else 1
+    if report.has_errors or (args.strict and report.has_findings):
+        return 1
+    return 0
+
+
 def _collect_fixture_paths(paths: List[str]) -> List[Path]:
     out: List[Path] = []
     for p in paths:
@@ -200,9 +301,31 @@ def cli(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("paths", nargs="*",
                         help="fixture files or directories; with none "
                              "given, lints every shipped workload's "
-                             "layout plan")
+                             "layout plan (with --self: source files or "
+                             "trees to sanitize)")
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero on warnings, not just errors")
+    parser.add_argument("--self", dest="self_check", action="store_true",
+                        help="run the determinism/guard self-sanitizer "
+                             "(DET/GRD codes) over the given paths, or "
+                             "over the installed repro package when no "
+                             "paths are given")
+    parser.add_argument("--plans", type=str, default=None,
+                        help="cross-plan interference analysis (INT "
+                             "codes) over a tenant set: comma-separated "
+                             "shipped workload names, or a .py fixture "
+                             "defining tenants() and optionally "
+                             "config()")
+    parser.add_argument("--verify-traffic", action="store_true",
+                        help="with --plans over workload names: run the "
+                             "workloads and hold the predicted "
+                             "contention matrix to the measured-counter "
+                             "tolerance contract (INT005 on divergence)")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text",
+                        help="output encoding (default text); json is "
+                             "the stable afflint-diagnostics/1 schema, "
+                             "github emits workflow-command annotations")
     parser.add_argument("--scale", type=float, default=0.12,
                         help="workload scale for plan linting "
                              "(default 0.12)")
@@ -224,11 +347,26 @@ def cli(argv: Optional[List[str]] = None) -> int:
                                           "layout linting is "
                                           "seed-independent")
     args = parser.parse_args(argv)
+    from repro.analysis.format import render_report
+
+    if args.self_check and args.plans is not None:
+        print("--self and --plans are mutually exclusive")
+        return 2
+
+    if args.self_check:
+        return _cli_self(args)
+
+    if args.plans is not None:
+        return _cli_plans(args)
+
+    if args.verify_traffic:
+        print("--verify-traffic requires --plans")
+        return 2
 
     if args.fault_log is not None:
         from repro.faults.log import FaultEventLog
         report = FaultEventLog.load(args.fault_log).to_diagnostics()
-        print(report.render())
+        print(render_report(report, args.format))
         if args.expect_findings:
             return 0 if report.has_findings else 1
         return 1 if report.has_errors else 0
@@ -237,7 +375,7 @@ def cli(argv: Optional[List[str]] = None) -> int:
         from repro.relayout.plan import MigrationPlan
         plan = MigrationPlan.load(args.migration_plan)
         report = plan.to_diagnostics(DEFAULT_CONFIG.num_banks)
-        print(report.render())
+        print(render_report(report, args.format))
         if args.expect_findings:
             return 0 if report.has_findings else 1
         return 1 if report.has_errors else 0
@@ -245,19 +383,28 @@ def cli(argv: Optional[List[str]] = None) -> int:
     any_findings = False
     any_errors = False
     if args.paths:
+        merged = DiagnosticReport()
         for path in _collect_fixture_paths(args.paths):
             result = lint_fixture_file(path)
-            print(f"== {path.name} ==")
-            print(result.render())
-            print()
+            if args.format == "text":
+                print(f"== {path.name} ==")
+                print(result.render())
+                print()
+            else:
+                merged.extend(result.report)
             any_findings |= result.report.has_findings
             any_errors |= result.report.has_errors
+        if args.format != "text":
+            print(render_report(merged, args.format))
     else:
         result, per_workload = lint_workload_plans(scale=args.scale)
-        for name, report in per_workload.items():
-            print(f"{name}: {report.summary()}")
-        print()
-        print(result.render())
+        if args.format == "text":
+            for name, report in per_workload.items():
+                print(f"{name}: {report.summary()}")
+            print()
+            print(result.render())
+        else:
+            print(render_report(result.report, args.format))
         any_findings = result.report.has_findings
         any_errors = result.report.has_errors
 

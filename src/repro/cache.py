@@ -195,7 +195,7 @@ class ArtifactCache:
         if not self.root.is_dir():
             return []
         out = []
-        for p in self.root.iterdir():
+        for p in sorted(self.root.iterdir()):
             if p.suffix in (".npz", ".json"):
                 with contextlib.suppress(OSError):
                     p.stat()

@@ -212,10 +212,12 @@ class AffinityAllocator:
                                    spec.num_elem, name=name)
         handle.layout = layout
         self._records[handle.vaddr] = _AffineRecord(handle, layout)
-        self.machine.faults.note(
-            FaultKind.ALLOC_FAIL, ordinal, "alloc-degraded",
-            f"affine array {name or hex(handle.vaddr)} fell back to the "
-            f"baseline heap")
+        st = self.machine.faults
+        if st is not None:  # only armed sessions reach here, but guard
+            st.note(
+                FaultKind.ALLOC_FAIL, ordinal, "alloc-degraded",
+                f"affine array {name or hex(handle.vaddr)} fell back to "
+                f"the baseline heap")
         self._freed_affine.discard(handle.vaddr)
         self._note_event("alloc", handle.vaddr, handle.size_bytes, name)
         self._trace_alloc("malloc_affine", name=name, kind="fallback",

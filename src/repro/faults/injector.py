@@ -25,13 +25,25 @@ runs produce identical logs (a property the chaos suite pins).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 import numpy as np
 
 from repro.analysis.diagnostics import TopologyError
 from repro.faults.log import FaultEventLog, FaultRecord
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+if TYPE_CHECKING:
+    from repro.machine import Machine
+    from repro.perf.stats import RunRecorder
 
 __all__ = ["FaultState", "FaultSession", "fault_session",
            "active_fault_session"]
@@ -47,7 +59,7 @@ class FaultState:
     RETRY_BACKOFF_CYCLES = (64.0, 128.0, 256.0)
 
     def __init__(self, plan: FaultPlan, log: FaultEventLog,
-                 machine, task: str = ""):
+                 machine: Machine, task: str = "") -> None:
         self.plan = plan
         self.log = log
         self.task = task
@@ -70,8 +82,8 @@ class FaultState:
         self._apply_boot(machine)
 
     # ------------------------------------------------------------------
-    def _rec(self, kind, target, action: str, detail: str = "",
-             count: float = 0.0) -> None:
+    def _rec(self, kind: Union[FaultKind, str], target: object,
+             action: str, detail: str = "", count: float = 0.0) -> None:
         kind_str = kind.value if isinstance(kind, FaultKind) else str(kind)
         self.log.add(FaultRecord(task=self.task, kind=kind_str,
                                  target=str(target), action=action,
@@ -85,8 +97,8 @@ class FaultState:
                            {"kind": kind_str, "target": str(target),
                             "detail": detail, "count": count})
 
-    def note(self, kind, target, action: str, detail: str = "",
-             count: float = 0.0) -> None:
+    def note(self, kind: Union[FaultKind, str], target: object,
+             action: str, detail: str = "", count: float = 0.0) -> None:
         """Public hook for other layers (runtime, executor) to log how
         they handled a fault."""
         self._rec(kind, target, action, detail, count)
@@ -94,7 +106,7 @@ class FaultState:
     # ------------------------------------------------------------------
     # Plan application
     # ------------------------------------------------------------------
-    def _apply_boot(self, machine) -> None:
+    def _apply_boot(self, machine: Machine) -> None:
         for ev in self.plan.events:
             if ev.kind is FaultKind.POOL_EXHAUST:
                 if machine.pools.has_pool(ev.target):
@@ -123,7 +135,7 @@ class FaultState:
                               "armed; fires when streaming starts")
             # WORKER_CRASH is consumed by the harness, never per-machine.
 
-    def activate_run_phase(self, machine) -> None:
+    def activate_run_phase(self, machine: Machine) -> None:
         """Fire armed run-phase events; idempotent, called by the executor
         at the top of every primitive (first call wins)."""
         if self._run_applied:
@@ -136,7 +148,8 @@ class FaultState:
                 self._fail_link(machine, ev)
 
     # ------------------------------------------------------------------
-    def _fail_bank(self, machine, ev: FaultEvent, run_phase: bool) -> None:
+    def _fail_bank(self, machine: Machine, ev: FaultEvent,
+                   run_phase: bool) -> None:
         bank = ev.target
         if bank >= self.healthy.size:
             self._rec(ev.kind, bank, "skipped", "no such bank")
@@ -165,7 +178,7 @@ class FaultState:
             self._rec(ev.kind, bank, "injected",
                       "no re-home; offloads touching it fall back to host")
 
-    def _fail_link(self, machine, ev: FaultEvent) -> None:
+    def _fail_link(self, machine: Machine, ev: FaultEvent) -> None:
         a, b = ev.target, ev.param
         label = f"{a}-{b}"
         try:
@@ -198,14 +211,15 @@ class FaultState:
     # ------------------------------------------------------------------
     # Executor hooks
     # ------------------------------------------------------------------
-    def _charge_backoff(self, recorder, num_cores: int) -> float:
+    def _charge_backoff(self, recorder: RunRecorder,
+                        num_cores: int) -> float:
         cycles = float(sum(self.RETRY_BACKOFF_CYCLES))
         recorder.add_serial_cycles(np.arange(num_cores), cycles)
         self.retries += len(self.RETRY_BACKOFF_CYCLES)
         return cycles
 
-    def check_first_touch(self, raw_banks: np.ndarray, recorder,
-                          num_cores: int) -> None:
+    def check_first_touch(self, raw_banks: np.ndarray,
+                          recorder: RunRecorder, num_cores: int) -> None:
         """Charge the retry storm the first time an offloaded stream
         touches each re-homed bank (``raw_banks`` is the pre-remap
         mapping, so failed banks are still visible here)."""
@@ -220,8 +234,8 @@ class FaultState:
                       f"({cycles:.0f} backoff cycles), re-issued to the "
                       f"re-homed bank", count=cycles)
 
-    def blocks_offload(self, banks_arrays, recorder,
-                       num_cores: int) -> bool:
+    def blocks_offload(self, banks_arrays: Sequence[Optional[np.ndarray]],
+                       recorder: RunRecorder, num_cores: int) -> bool:
         """True if any stream operand lives on a failed, non-re-homed
         bank: the offload is retried (bounded backoff) then abandoned,
         and the caller must run the primitive on the host cores."""
@@ -271,13 +285,13 @@ class FaultSession:
     may build several contexts; they share the log)."""
 
     def __init__(self, plan: FaultPlan, log: Optional[FaultEventLog] = None,
-                 task: str = ""):
+                 task: str = "") -> None:
         self.plan = plan
         self.log = log if log is not None else FaultEventLog()
         self.task = task
         self.states: List[FaultState] = []
 
-    def attach(self, machine) -> FaultState:
+    def attach(self, machine: Machine) -> FaultState:
         state = FaultState(self.plan, self.log, machine, self.task)
         machine.faults = state
         self.states.append(state)
@@ -297,7 +311,7 @@ def active_fault_session() -> Optional[FaultSession]:
 
 @contextmanager
 def fault_session(plan: FaultPlan, log: Optional[FaultEventLog] = None,
-                  task: str = ""):
+                  task: str = "") -> Iterator[FaultSession]:
     """Make a fault session active for the dynamic extent of the block.
 
     Machines built inside the block (via ``make_context``) get the plan

@@ -32,9 +32,13 @@ action               meaning
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import DiagnosticReport
 
 __all__ = ["FaultRecord", "FaultEventLog", "ACTIONS"]
 
@@ -62,7 +66,7 @@ class FaultRecord:
     detail: str = ""
     count: float = 0.0  # kind-specific magnitude (bytes moved, cycles, ...)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.action not in ACTIONS:
             raise ValueError(f"unknown fault action {self.action!r}")
 
@@ -87,7 +91,7 @@ class FaultRecord:
 class FaultEventLog:
     """Append-only ordered record list with value equality."""
 
-    def __init__(self, records: List[FaultRecord] = None):
+    def __init__(self, records: Optional[List[FaultRecord]] = None) -> None:
         self.records: List[FaultRecord] = list(records) if records else []
 
     def add(self, record: FaultRecord) -> None:
@@ -99,7 +103,7 @@ class FaultEventLog:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, FaultEventLog):
             return NotImplemented
         return self.records == other.records
@@ -123,11 +127,11 @@ class FaultEventLog:
     def from_json(cls, text: str) -> "FaultEventLog":
         return cls([FaultRecord.from_dict(d) for d in json.loads(text)])
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, os.PathLike]) -> None:
         Path(path).write_text(self.to_json() + "\n")
 
     @classmethod
-    def load(cls, path) -> "FaultEventLog":
+    def load(cls, path: Union[str, os.PathLike]) -> "FaultEventLog":
         return cls.from_json(Path(path).read_text())
 
     def render(self) -> str:
@@ -136,7 +140,7 @@ class FaultEventLog:
         return "\n".join(r.render() for r in self.records)
 
     # ------------------------------------------------------------------
-    def to_diagnostics(self):
+    def to_diagnostics(self) -> "DiagnosticReport":
         """Replay the log into afflint CHS diagnostics.
 
         ``unhandled`` records become CHS001 errors (the chaos-smoke CI

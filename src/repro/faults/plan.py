@@ -32,7 +32,8 @@ import enum
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple
+import os
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -59,7 +60,7 @@ class FaultEvent:
     phase: str = "run"
     rehome: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.phase not in ("boot", "run"):
             raise ValueError(f"phase must be 'boot' or 'run', got {self.phase!r}")
         if self.target < 0:
@@ -145,11 +146,11 @@ class FaultPlan:
                    seed=int(d.get("seed", 0)),
                    rate=float(d.get("rate", 0.0)))
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, os.PathLike]) -> None:
         Path(path).write_text(self.to_json() + "\n")
 
     @classmethod
-    def load(cls, path) -> "FaultPlan":
+    def load(cls, path: Union[str, os.PathLike]) -> "FaultPlan":
         return cls.from_json(Path(path).read_text())
 
     # ------------------------------------------------------------------

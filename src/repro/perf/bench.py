@@ -310,7 +310,8 @@ def _env_metadata() -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # Bench *metadata*, never a result metric; wall time is the point.
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),  # afflint: allow(DET001)
     }
 
 

@@ -26,6 +26,10 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.relayout.plan import MigrationPlan
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.relayout.engine import RelayoutState
 from repro.relayout.policy import RelayoutConfig
 
 __all__ = ["AutoplaceReport", "DEFAULT_SCENARIOS", "SCENARIOS",
@@ -70,7 +74,7 @@ DEFAULT_SCENARIOS = ("stream_flip", "bfs", "dyn_graph")
 # ----------------------------------------------------------------------
 # Worker
 # ----------------------------------------------------------------------
-def _post_locality(state) -> Optional[float]:
+def _post_locality(state: "RelayoutState") -> Optional[float]:
     """Stream locality of the last epoch (after any migrations settled)."""
     for label, total, remote in reversed(state.epoch_locality):
         if total > 0:

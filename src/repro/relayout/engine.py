@@ -25,7 +25,14 @@ stay static under an outer ``run_figures(relayout=...)``.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -34,6 +41,11 @@ from repro.core.affine import LayoutKind
 from repro.relayout.plan import Migration, MigrationKind, MigrationPlan
 from repro.relayout.policy import (ArrayDrift, Decision, RelayoutConfig,
                                    Telemetry, decide)
+
+if TYPE_CHECKING:
+    from repro.core.api import ArrayHandle
+    from repro.machine import Machine
+    from repro.perf.stats import PhaseStats, RunRecorder
 
 __all__ = ["RelayoutSession", "RelayoutState", "active_relayout_session",
            "relayout_session"]
@@ -47,7 +59,8 @@ class RelayoutState:
     and the growing migration record.
     """
 
-    def __init__(self, machine, cfg: RelayoutConfig, task: str = ""):
+    def __init__(self, machine: Machine, cfg: RelayoutConfig,
+                 task: str = "") -> None:
         self.machine = machine
         self.cfg = cfg
         self.task = task
@@ -68,7 +81,9 @@ class RelayoutState:
     # ------------------------------------------------------------------
     # Observation (hot path: cheap, vectorized, no allocation on repeat)
     # ------------------------------------------------------------------
-    def observe_stream(self, handle, data_banks, desired_banks,
+    def observe_stream(self, handle: Optional[ArrayHandle],
+                       data_banks: np.ndarray,
+                       desired_banks: np.ndarray,
                        count: float = 1.0) -> None:
         """Record where a stream's data lived vs. where its consumers ran.
 
@@ -103,7 +118,7 @@ class RelayoutState:
             return np.asarray(faults.healthy, dtype=bool)
         return np.ones(self.machine.num_banks, dtype=bool)
 
-    def _rotatable(self, handle) -> bool:
+    def _rotatable(self, handle: ArrayHandle) -> bool:
         layout = getattr(handle, "layout", None)
         if layout is None or layout.kind is not LayoutKind.POOL:
             return False
@@ -112,7 +127,7 @@ class RelayoutState:
             return False
         return self.machine.pools.pool_containing(handle.vaddr) is not None
 
-    def _heat_delta(self, phase) -> np.ndarray:
+    def _heat_delta(self, phase: PhaseStats) -> np.ndarray:
         p = self.machine.config.perf
         return (phase.bank_line_accesses * p.bank_access_cycles
                 + phase.bank_atomics * p.atomic_access_cycles
@@ -144,7 +159,8 @@ class RelayoutState:
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
-    def _charge(self, recorder, old_banks: np.ndarray, new_banks: np.ndarray,
+    def _charge(self, recorder: RunRecorder,
+                old_banks: np.ndarray, new_banks: np.ndarray,
                 moved_lines: int) -> None:
         """Charge one migration's cost to the run's perf counters."""
         line = self.machine.config.cache.line_bytes
@@ -163,7 +179,8 @@ class RelayoutState:
             recorder.add_serial_cycles(
                 np.arange(self.machine.num_cores, dtype=np.int64), drain)
 
-    def _apply_rotate(self, recorder, dec: Decision, epoch: str) -> Migration:
+    def _apply_rotate(self, recorder: RunRecorder, dec: Decision,
+                      epoch: str) -> Migration:
         m = self.machine
         nb = m.num_banks
         handle = self._handles.get(dec.vaddr)
@@ -209,7 +226,8 @@ class RelayoutState:
             moved_bytes=move.moved_bytes, applied=True,
             detail=f"rot={dec.rot}: {dec.reason}")
 
-    def _apply_swap(self, recorder, dec: Decision, epoch: str) -> Migration:
+    def _apply_swap(self, recorder: RunRecorder, dec: Decision,
+                    epoch: str) -> Migration:
         healthy = self._healthy()
         a, b = dec.bank_a, dec.bank_b
         if not (healthy[a] and healthy[b]):
@@ -245,7 +263,8 @@ class RelayoutState:
                          detail=dec.reason)
 
     # ------------------------------------------------------------------
-    def on_epoch_boundary(self, recorder, phase) -> Tuple[Migration, ...]:
+    def on_epoch_boundary(self, recorder: RunRecorder,
+                          phase: PhaseStats) -> Tuple[Migration, ...]:
         """Run the decide/apply loop for one closed epoch.
 
         Called by :meth:`RunContext.end_epoch` *after* ``end_phase``
@@ -331,7 +350,8 @@ class RelayoutSession:
     outer active session exists (nested sessions shadow outer ones).
     """
 
-    def __init__(self, cfg: Optional[RelayoutConfig], task: str = ""):
+    def __init__(self, cfg: Optional[RelayoutConfig],
+                 task: str = "") -> None:
         self.cfg = cfg
         self.task = task
         self.states: List[RelayoutState] = []
@@ -340,7 +360,7 @@ class RelayoutSession:
     def active(self) -> bool:
         return self.cfg is not None
 
-    def attach(self, machine) -> Optional[RelayoutState]:
+    def attach(self, machine: Machine) -> Optional[RelayoutState]:
         if self.cfg is None:
             return None
         state = RelayoutState(machine, self.cfg, task=self.task)
@@ -365,7 +385,8 @@ def active_relayout_session() -> Optional[RelayoutSession]:
 
 
 @contextmanager
-def relayout_session(cfg: Optional[RelayoutConfig], task: str = ""):
+def relayout_session(cfg: Optional[RelayoutConfig],
+                     task: str = "") -> Iterator[RelayoutSession]:
     """Scope an online re-layout session (mirror of ``fault_session``).
 
     Every machine built by ``make_context`` inside the scope gets a

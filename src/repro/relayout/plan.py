@@ -15,7 +15,19 @@ import enum
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import DiagnosticReport
 
 __all__ = ["MigrationKind", "Migration", "MigrationPlan"]
 
@@ -124,16 +136,17 @@ class MigrationPlan:
                    seed=int(d.get("seed", 0)),
                    max_per_epoch=int(d.get("max_per_epoch", 0)))
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, os.PathLike]) -> None:
         Path(path).write_text(self.to_json(), encoding="utf-8")
 
     @classmethod
-    def load(cls, path) -> "MigrationPlan":
+    def load(cls, path: Union[str, os.PathLike]) -> "MigrationPlan":
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     # ------------------------------------------------------------------
     def to_diagnostics(self, num_banks: Optional[int] = None,
-                       healthy: Optional[Sequence[bool]] = None):
+                       healthy: Optional[Sequence[bool]] = None,
+                       ) -> "DiagnosticReport":
         """Audit the plan as afflint diagnostics (RLY001..RLY004).
 
         * RLY001 (ERROR): a migration targets an out-of-range bank, or —
