@@ -86,6 +86,11 @@ class Mesh:
         self.topology_epoch = 0
         self._dist_table: Optional[np.ndarray] = None
         self._route_memo: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # Full all-pairs hop table, memoized per topology epoch (the
+        # bank-select hot paths slice it instead of re-broadcasting
+        # Manhattan distances on every allocation batch).
+        self._hops_table: Optional[np.ndarray] = None
+        self._hops_table_epoch: int = -1
 
     # ------------------------------------------------------------------
     # Topology (degraded routing around dead links)
@@ -244,12 +249,10 @@ class Mesh:
         distance under X-Y routing).  With dead links, distances come
         from the memoized BFS all-pairs table over live links.
         """
-        if self._dead_links:
-            table = self._distance_table()
-            return table[np.asarray(src), np.asarray(dst)]
-        sx, sy = self.coords(np.asarray(src))
-        dx, dy = self.coords(np.asarray(dst))
-        return np.abs(sx - dx) + np.abs(sy - dy)
+        # One gather from the memoized all-pairs table beats the seven
+        # elementwise passes of the coordinate arithmetic; the pristine
+        # table holds the identical Manhattan integers.
+        return self.hops_table()[np.asarray(src), np.asarray(dst)]
 
     def mean_hops_to(self, dst: int, sources: Iterable[int]) -> float:
         """Average hop count from each source tile to ``dst``."""
@@ -258,19 +261,42 @@ class Mesh:
             return 0.0
         return float(self.hops(src, dst).mean())
 
+    def hops_table(self) -> np.ndarray:
+        """Full ``(num_tiles, num_tiles)`` hop table, **read-only** and
+        memoized per :attr:`topology_epoch`.
+
+        ``table[b, d]`` = hops from ``b`` to ``d``.  The bank-select hot
+        paths (``malloc_irregular_batch``, ``_chained_hybrid``) consume
+        the whole table every batch; building the Manhattan broadcast
+        (or BFS table) once per topology and slicing is bit-identical
+        and removes an O(num_tiles²) rebuild per allocation batch.
+        """
+        if (self._hops_table is None
+                or self._hops_table_epoch != self.topology_epoch):
+            if self._dead_links:
+                table = self._distance_table()
+            else:
+                all_tiles = np.arange(self.num_tiles)
+                bx, by = self.coords(all_tiles)
+                table = (np.abs(bx[:, None] - bx[None, :])
+                         + np.abs(by[:, None] - by[None, :]))
+                table.setflags(write=False)
+            self._hops_table = table
+            self._hops_table_epoch = self.topology_epoch
+        return self._hops_table
+
     def hops_to_all(self, targets: np.ndarray) -> np.ndarray:
         """Matrix ``M[b, i]`` = hops from every tile ``b`` to ``targets[i]``.
 
         Used by the bank-select policy to score all candidate banks against
-        a small set of affinity addresses in one shot.
+        a small set of affinity addresses in one shot.  Slices the
+        memoized :meth:`hops_table` — same integers as the original
+        per-call Manhattan broadcast, without the rebuild.
         """
         targets = np.asarray(targets)
         if self._dead_links:
             return self._distance_table()[:, targets]
-        all_tiles = np.arange(self.num_tiles)
-        bx, by = self.coords(all_tiles)
-        tx, ty = self.coords(targets)
-        return np.abs(bx[:, None] - tx[None, :]) + np.abs(by[:, None] - ty[None, :])
+        return self.hops_table()[:, targets]
 
     # ------------------------------------------------------------------
     # Link-level routing

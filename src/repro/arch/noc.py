@@ -149,13 +149,26 @@ class TrafficAccountant:
         n = self.mesh.num_tiles
         if src.size == 0:
             return
-        self.mesh.validate_tiles(src)
-        self.mesh.validate_tiles(dst)
-        flits = self._flits_for(payload_bytes) * np.asarray(count, dtype=np.float64)
+        cnt = np.asarray(count, dtype=np.float64)
+        flits = self._flits_for(payload_bytes) * cnt
         flits = np.broadcast_to(flits, src.shape)
         pair = src * n + dst
-        self._pair_flits[cls] += np.bincount(pair, weights=flits, minlength=n * n)
-        self._messages[cls] += float(np.sum(np.broadcast_to(np.asarray(count, dtype=np.float64), src.shape)))
+        # With dst validated, a bad src surfaces from the histogram
+        # itself (negative pair raises inside bincount, over-range pair
+        # yields a histogram longer than the pair matrix) — replacing
+        # src's two min/max validation passes on this very hot path.
+        self.mesh.validate_tiles(dst)
+        try:
+            binned = np.bincount(pair, weights=flits, minlength=n * n)
+        except ValueError:
+            raise ValueError("tile id out of range") from None
+        if binned.size > n * n:
+            raise ValueError("tile id out of range")
+        self._pair_flits[cls] += binned
+        if cnt.ndim == 0:
+            self._messages[cls] += float(cnt) * src.size
+        else:
+            self._messages[cls] += float(np.sum(np.broadcast_to(cnt, src.shape)))
         self._dirty = True
 
     # ------------------------------------------------------------------

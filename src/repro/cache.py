@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
@@ -55,6 +56,12 @@ __all__ = [
 GENERATOR_VERSION = 1
 
 DEFAULT_MAX_BYTES = 2 << 30  # 2 GiB
+
+#: In-process memo over the hottest ``.npz`` entries.  Keys are content
+#: addresses, so one key can only ever name one payload — serving from
+#: memory is exactly as correct as re-reading the file, minus the
+#: zipfile + zlib decompress the profile charges every graph reload.
+DEFAULT_MEM_BYTES = 256 << 20  # 256 MiB
 
 
 def _canonical(obj):
@@ -105,6 +112,10 @@ class ArtifactCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.mem_max_bytes = int(os.environ.get("REPRO_CACHE_MEM_BYTES",
+                                                DEFAULT_MEM_BYTES))
+        self._mem: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+        self._mem_bytes = 0
 
     # ------------------------------------------------------------------
     def path_for(self, key: str, suffix: str) -> Path:
@@ -132,11 +143,40 @@ class ArtifactCache:
         with contextlib.suppress(OSError):
             path.unlink()
 
+    # ------------------------- in-memory layer -------------------------
+    def _mem_store(self, key: str, arrays: Dict[str, np.ndarray]) -> None:
+        size = sum(a.nbytes for a in arrays.values())
+        if size > self.mem_max_bytes:
+            return
+        old = self._mem.pop(key, None)
+        if old is not None:
+            self._mem_bytes -= sum(a.nbytes for a in old.values())
+        self._mem[key] = arrays
+        self._mem_bytes += size
+        while self._mem_bytes > self.mem_max_bytes and self._mem:
+            _, dropped = self._mem.popitem(last=False)
+            self._mem_bytes -= sum(a.nbytes for a in dropped.values())
+
+    def _mem_clear(self) -> None:
+        self._mem.clear()
+        self._mem_bytes = 0
+
     # ----------------------------- npz --------------------------------
     def get_arrays(self, key: str) -> Optional[Dict[str, np.ndarray]]:
-        """Load an ``.npz`` entry; any read error is a miss (and deletes)."""
+        """Load an ``.npz`` entry; any read error is a miss (and deletes).
+
+        Recently read entries are served from an in-process memo (copies,
+        so callers may mutate freely); keys are content addresses, so the
+        memo can never go stale against the file it shadows.  Only reads
+        populate the memo — the first load after a write still exercises
+        the on-disk entry, keeping corruption detectable."""
         if not self.enabled:
             return None
+        memo = self._mem.get(key)
+        if memo is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return {name: a.copy() for name, a in memo.items()}
         path = self.path_for(key, ".npz")
         try:
             with np.load(path, allow_pickle=False) as zf:
@@ -150,6 +190,7 @@ class ArtifactCache:
             return None
         self.hits += 1
         self._touch(path)
+        self._mem_store(key, {name: a.copy() for name, a in out.items()})
         return out
 
     def put_arrays(self, key: str, arrays: Dict[str, np.ndarray]) -> None:
@@ -227,6 +268,7 @@ class ArtifactCache:
     def clear(self) -> None:
         for p in self._entries():
             self._drop(p)
+        self._mem_clear()
 
     # --------------------------- control -------------------------------
     @contextlib.contextmanager

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "NocConfig",
@@ -24,6 +25,7 @@ __all__ = [
     "PerfParams",
     "SystemConfig",
     "DEFAULT_CONFIG",
+    "config_for_mesh",
 ]
 
 CACHE_LINE = 64
@@ -161,6 +163,30 @@ class SystemConfig:
         ``cfg.scaled(cache=dataclasses.replace(cfg.cache, ...))``.
         """
         return dataclasses.replace(self, **kwargs)
+
+
+def config_for_mesh(width: int, height: int,
+                    base: Optional[SystemConfig] = None) -> SystemConfig:
+    """The paper's platform rescaled to a ``width x height`` mesh.
+
+    Keeps every per-tile and per-bank constant of ``base`` (default
+    :data:`DEFAULT_CONFIG`) and grows only what the paper's Table 2
+    scales with tile count: one L3 bank and core per tile, and one DRAM
+    channel per 16 tiles (the 8x8 platform's corner-channel ratio,
+    rounded up and kept even so channels still pair across the mesh
+    edges).  ``config_for_mesh(8, 8)`` is exactly the default config.
+
+    This is the entry point the scale benchmarks (``alloc``,
+    ``fig12_full``) and the 16x16 / 32x32 dataset generators build on.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("mesh dimensions must be positive")
+    cfg = base if base is not None else DEFAULT_CONFIG
+    tiles = width * height
+    channels = max(2, 2 * ((tiles + 31) // 32))
+    return cfg.scaled(
+        noc=dataclasses.replace(cfg.noc, width=width, height=height),
+        dram=dataclasses.replace(cfg.dram, channels=channels))
 
 
 DEFAULT_CONFIG = SystemConfig()

@@ -71,11 +71,15 @@ class SlotPool:
         # Hand out slots bank by bank, preserving request order.
         boundaries = np.searchsorted(sorted_banks, np.arange(self.num_banks + 1))
         for b in range(self.num_banks):
-            lo, hi = boundaries[b], boundaries[b + 1]
+            lo, hi = int(boundaries[b]), int(boundaries[b + 1])
             count = hi - lo
             if count == 0:
                 continue
-            slots = [self._free[b].pop() for _ in range(count)]
+            # Batched LIFO pop: slice the stack tail in pop() order
+            # (last element first) instead of `count` .pop() calls.
+            free = self._free[b]
+            slots = free[-count:][::-1]
+            del free[-count:]
             out[order[lo:hi]] = slots
             self._live.update(slots)
             self._released.difference_update(slots)
@@ -115,8 +119,16 @@ class SlotPool:
         nslots = rng.size // self.intrlv
         vaddrs = rng.start + np.arange(nslots, dtype=np.int64) * self.intrlv
         banks = self.pool.bank_of(vaddrs)
-        for va, b in zip(vaddrs.tolist(), banks.tolist()):
-            self._free[b].append(va)
+        # Group by bank with one stable sort; within a bank the slots
+        # keep ascending-vaddr order, exactly like the old per-slot
+        # append loop.
+        order = np.argsort(banks, kind="stable")
+        bounds = np.searchsorted(banks[order], np.arange(self.num_banks + 1))
+        grouped = vaddrs[order].tolist()
+        for b in range(self.num_banks):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            if hi > lo:
+                self._free[b].extend(grouped[lo:hi])
 
     def free_count(self, bank: int) -> int:
         return len(self._free[bank])

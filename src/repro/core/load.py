@@ -36,6 +36,20 @@ class LoadTracker:
     def record(self, bank: int, weight: float = 1.0) -> None:
         self._loads[bank] += weight
 
+    def record_many(self, counts: np.ndarray) -> None:
+        """Bulk :meth:`record`: add a per-bank count vector in one op.
+
+        Bit-identical to recording each bank's count separately — the
+        per-bank adds are independent — and what the bank-select batch
+        paths use to commit a whole batch's ``np.bincount`` at once.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != self._loads.shape:
+            raise ValueError(
+                f"counts must have one entry per bank: got {counts.shape}, "
+                f"expected {self._loads.shape}")
+        self._loads += counts
+
     def remove(self, bank: int, weight: float = 1.0) -> None:
         self._loads[bank] -= weight
         if self._loads[bank] < -1e-9:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.analysis.diagnostics import NoHealthyBankError
 from repro.arch.mesh import Mesh
 from repro.core.load import LoadTracker
+from repro.perf import kernels as _kernels
 
 __all__ = [
     "BankSelectPolicy",
@@ -106,8 +107,7 @@ class RandomPolicy(BankSelectPolicy):
                                                size=mean_hops.shape[0])]
         else:
             banks = self._rng.integers(0, load.num_banks, size=mean_hops.shape[0])
-        for b, c in zip(*np.unique(banks, return_counts=True)):
-            load.record(int(b), float(c))
+        load.record_many(np.bincount(banks, minlength=load.num_banks))
         return banks.astype(np.int64)
 
     def reset(self) -> None:
@@ -138,8 +138,7 @@ class LinearPolicy(BankSelectPolicy):
         else:
             banks = (self._next + np.arange(n)) % load.num_banks
         self._next = int((self._next + n) % load.num_banks)
-        for b, c in zip(*np.unique(banks, return_counts=True)):
-            load.record(int(b), float(c))
+        load.record_many(np.bincount(banks, minlength=load.num_banks))
         return banks.astype(np.int64)
 
     def reset(self) -> None:
@@ -175,50 +174,24 @@ class HybridPolicy(BankSelectPolicy):
     def select_batch(self, mean_hops, load, mesh, mask=None) -> np.ndarray:
         """Sequential Eq. 4 over a batch, with the load updating as it goes.
 
-        The loop is irreducible (every choice shifts the load the next
-        choice sees), so the body is tuned instead: in-place ops into one
-        scratch row — same operations in the same order, so bit-identical
-        to the naive expression — and the ``ndarray.argmin`` method to
-        skip the ``np.argmin`` dispatch wrapper.  The masked (degraded)
-        variant is a separate loop so the healthy path stays untouched.
+        Every choice shifts the load the next choice sees, so the loop
+        is irreducible — but not unoptimizable: the active kernel
+        backend (:mod:`repro.perf.kernels`) runs it either as chunked
+        *speculative* evaluation (python backend — exact, see DESIGN
+        §12) or as a compiled scalar loop (numba backend), both
+        bit-identical to the naive expression.  The masked (degraded)
+        variant folds the fault mask into an additive 0/inf penalty
+        row, leaving the healthy path untouched.
         """
-        n, nb = mean_hops.shape
         loads = load.loads  # private working copy
-        out = np.empty(n, dtype=np.int64)
-        h = self.h
-        total = loads.sum()
-        score = np.empty(nb, dtype=np.float64)
         if mask is not None:
             self._healthy_indices(mask)
             penalty = np.where(np.asarray(mask, dtype=bool), 0.0, np.inf)
-            for i in range(n):
-                if h > 0 and total > 0:
-                    np.divide(loads, total / nb, out=score)
-                    score -= 1.0
-                    score *= h
-                    score += mean_hops[i]
-                    score += penalty
-                    b = int(score.argmin())
-                else:
-                    b = int((mean_hops[i] + penalty).argmin())
-                out[i] = b
-                loads[b] += 1.0
-                total += 1.0
         else:
-            for i in range(n):
-                if h > 0 and total > 0:
-                    np.divide(loads, total / nb, out=score)
-                    score -= 1.0
-                    score *= h
-                    score += mean_hops[i]
-                    b = int(score.argmin())
-                else:
-                    b = int(mean_hops[i].argmin())
-                out[i] = b
-                loads[b] += 1.0
-                total += 1.0
-        for b, c in zip(*np.unique(out, return_counts=True)):
-            load.record(int(b), float(c))
+            penalty = None
+        out = _kernels.get_backend().hybrid_select_batch(
+            mean_hops, loads, self.h, penalty)
+        load.record_many(np.bincount(out, minlength=load.num_banks))
         return out
 
 

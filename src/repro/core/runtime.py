@@ -41,6 +41,7 @@ from repro.core.irregular import SlotPool
 from repro.core.load import LoadTracker
 from repro.core.policy import BankSelectPolicy, HybridPolicy
 from repro.machine import Machine
+from repro.perf import kernels as _kernels
 
 __all__ = ["AffinityAllocator", "AllocStats"]
 
@@ -57,8 +58,12 @@ def _affinity_hop_sums(alloc_ids: np.ndarray, banks: np.ndarray,
     distance matrix is bit-exact and orders of magnitude faster.
     """
     nb = dist.shape[0]
-    occ = np.bincount(alloc_ids * nb + banks, minlength=n * nb)
-    return occ.reshape(n, nb).astype(np.float64) @ dist.T.astype(np.float64)
+    # Weighted bincount emits float64 directly: each hit adds exactly
+    # 1.0, so the histogram carries the same small integers the int64
+    # variant would — minus the full-size astype copy before the matmul.
+    occ = np.bincount(alloc_ids * nb + banks,
+                      weights=np.ones(alloc_ids.size), minlength=n * nb)
+    return occ.reshape(n, nb) @ dist.T.astype(np.float64)
 
 
 @dataclass
@@ -462,7 +467,7 @@ class AffinityAllocator:
         mean_hops = np.zeros((n, nb), dtype=np.float64)
         if aff_addrs.size:
             banks = self.machine.banks_of(aff_addrs)
-            dist = self.mesh.hops_to_all(np.arange(nb))  # (bank, bank) hops
+            dist = self.mesh.hops_table()  # (bank, bank) hops, memoized
             mean_hops = _affinity_hop_sums(alloc_ids, banks, dist, n)
             counts = np.bincount(alloc_ids, minlength=n).astype(np.float64)
             counts[counts == 0] = 1.0
@@ -593,65 +598,25 @@ class AffinityAllocator:
                         n: int, nb: int,
                         mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Sequential Eq. 4 selection where affinity banks come from the
-        batch's own earlier choices."""
-        dist = self.mesh.hops_to_all(np.arange(nb)).astype(np.float64)
+        batch's own earlier choices.
+
+        The hop row for step ``i`` depends on in-batch choices, so this
+        loop cannot be speculated like ``select_batch``; the active
+        kernel backend runs the scalar body (numba-compiled when
+        available) against the transposed, contiguous hop table.  The
+        masked (degraded) variant folds the fault mask into an additive
+        0/inf penalty row, leaving the healthy path untouched.
+        """
+        dist_t = self.mesh.hops_table().T.astype(np.float64)
         loads = self.load.loads  # working copy
-        h = self.policy.h
-        chosen = np.empty(n, dtype=np.int64)
-        zeros = np.zeros(nb, dtype=np.float64)
-        # Like HybridPolicy.select_batch: the loop is sequential by
-        # construction, so shave the per-iteration overhead — one scratch
-        # row updated in place (bit-identical op order) and a running
-        # total (loads holds integer-valued floats, so incrementing is
-        # exact) instead of an O(nb) sum per node.  The masked (degraded)
-        # variant is a separate loop so the healthy path stays untouched.
-        score = np.empty(nb, dtype=np.float64)
-        total = loads.sum()
         if mask is not None:
             BankSelectPolicy._healthy_indices(mask)  # raises if all failed
             penalty = np.where(np.asarray(mask, dtype=bool), 0.0, np.inf)
-            for i in range(n):
-                p = prev_ids[i]
-                if p >= 0:
-                    hops_row = dist[:, chosen[p]]
-                elif head_banks[i] >= 0:
-                    hops_row = dist[:, head_banks[i]]
-                else:
-                    hops_row = zeros
-                if h > 0 and total > 0:
-                    np.divide(loads, total / nb, out=score)
-                    score -= 1.0
-                    score *= h
-                    score += hops_row
-                    score += penalty
-                    b = int(score.argmin())
-                else:
-                    b = int((hops_row + penalty).argmin())
-                chosen[i] = b
-                loads[b] += 1.0
-                total += 1.0
         else:
-            for i in range(n):
-                p = prev_ids[i]
-                if p >= 0:
-                    hops_row = dist[:, chosen[p]]
-                elif head_banks[i] >= 0:
-                    hops_row = dist[:, head_banks[i]]
-                else:
-                    hops_row = zeros
-                if h > 0 and total > 0:
-                    np.divide(loads, total / nb, out=score)
-                    score -= 1.0
-                    score *= h
-                    score += hops_row
-                    b = int(score.argmin())
-                else:
-                    b = int(hops_row.argmin())
-                chosen[i] = b
-                loads[b] += 1.0
-                total += 1.0
-        for b, c in zip(*np.unique(chosen, return_counts=True)):
-            self.load.record(int(b), float(c))
+            penalty = None
+        chosen = _kernels.get_backend().chained_hybrid(
+            dist_t, prev_ids, head_banks, loads, self.policy.h, penalty)
+        self.load.record_many(np.bincount(chosen, minlength=nb))
         return chosen
 
     # ------------------------------------------------------------------

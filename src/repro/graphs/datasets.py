@@ -27,7 +27,8 @@ from repro.cache import cached_graph
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import powerlaw
 
-__all__ = ["GraphSpec", "REAL_WORLD_GRAPHS", "load_real_world"]
+__all__ = ["GraphSpec", "REAL_WORLD_GRAPHS", "MESH_BASE_TILES",
+           "load_real_world", "load_for_mesh"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,21 @@ REAL_WORLD_GRAPHS: Dict[str, GraphSpec] = {
 }
 
 
+#: Tile count of the paper's evaluation platform (8x8 mesh); Table 4
+#: sizes are calibrated for it, and :func:`load_for_mesh` grows the
+#: graph proportionally for larger meshes.
+MESH_BASE_TILES = 64
+
+
+def _synthesize(spec: GraphSpec, nv: int, seed: int, weights_range) -> CSRGraph:
+    return cached_graph(
+        "real_world",
+        lambda: powerlaw(nv, spec.avg_degree, exponent=2.0, seed=seed,
+                         weights_range=weights_range),
+        name=spec.name, num_vertices=nv, avg_degree=spec.avg_degree,
+        seed=seed, weights_range=weights_range)
+
+
 def load_real_world(name: str, scale: float = 1.0, seed: int = 7,
                     weights_range=None) -> CSRGraph:
     """Synthesize the named Table 4 graph (optionally down-scaled).
@@ -64,9 +80,32 @@ def load_real_world(name: str, scale: float = 1.0, seed: int = 7,
     if not (0 < scale <= 1.0):
         raise ValueError("scale must be in (0, 1]")
     nv = max(int(spec.num_vertices * scale), 1024)
-    return cached_graph(
-        "real_world",
-        lambda: powerlaw(nv, spec.avg_degree, exponent=2.0, seed=seed,
-                         weights_range=weights_range),
-        name=name, num_vertices=nv, avg_degree=spec.avg_degree, seed=seed,
-        weights_range=weights_range)
+    return _synthesize(spec, nv, seed, weights_range)
+
+
+def load_for_mesh(name: str, num_tiles: int, scale: float = 1.0,
+                  seed: int = 7, weights_range=None) -> CSRGraph:
+    """Table 4 graph grown for a ``num_tiles``-tile mesh.
+
+    The published sizes target the 8x8 (64-tile) platform; keeping the
+    problem-per-bank ratio fixed when the mesh scales means growing the
+    vertex count by ``num_tiles / 64`` at unchanged average degree.  At
+    ``scale=1.0`` a 16x16 mesh gets a ~54M-edge twitch-gamers stand-in
+    and a 32x32 mesh ~218M edges; ``scale`` shrinks vertices (exactly
+    like :func:`load_real_world`) so smoke runs stay fast.  Cached with
+    the resulting vertex count in the key, so every mesh size keeps its
+    own artifact and ``load_for_mesh(name, 64)`` shares the
+    ``load_real_world(name)`` one.
+    """
+    try:
+        spec = REAL_WORLD_GRAPHS[name]
+    except KeyError:
+        raise KeyError(f"unknown graph {name!r}; "
+                       f"available: {sorted(REAL_WORLD_GRAPHS)}") from None
+    if num_tiles < 1:
+        raise ValueError("num_tiles must be positive")
+    if not (0 < scale <= 1.0):
+        raise ValueError("scale must be in (0, 1]")
+    nv = max(int(spec.num_vertices * scale * num_tiles / MESH_BASE_TILES),
+             1024)
+    return _synthesize(spec, nv, seed, weights_range)

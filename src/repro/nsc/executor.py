@@ -40,6 +40,7 @@ from repro.arch.noc import MessageClass
 from repro.core.api import ArrayHandle
 from repro.machine import Machine
 from repro.nsc.engine import EngineMode
+from repro.perf import kernels as _kernels
 from repro.perf.stats import RunRecorder
 
 __all__ = ["StreamExecutor"]
@@ -64,51 +65,24 @@ def _shrink_key(key: np.ndarray) -> np.ndarray:
     so ``np.unique``'s sort order — and therefore the first-occurrence
     indices the callers consume — is unchanged, while the radix sort runs
     half the passes over half the bytes."""
-    lo = key.min()
-    if int(key.max()) - int(lo) < (1 << 31):
-        return (key - lo).astype(np.int32)
-    return key
+    return _kernels.pybackend.shrink_key(key)
 
 
 def _first_unique(key: np.ndarray) -> np.ndarray:
     """``np.unique(key, return_index=True)[1]``: index of the first
     occurrence of each distinct key, ordered by ascending key.
 
-    Traces mostly walk arrays in address order, so the composite keys
-    built here are already sorted more often than not; one O(n) ordered
-    check then replaces ``np.unique``'s full sort with a boundary scan
-    (identical output — on sorted input the first occurrences *are* the
-    run boundaries, in key order)."""
-    n = key.size
-    if n == 0:
-        return np.empty(0, dtype=np.intp)
-    if bool((key[1:] >= key[:-1]).all()):
-        change = np.empty(n, dtype=bool)
-        change[0] = True
-        np.not_equal(key[1:], key[:-1], out=change[1:])
-        return np.flatnonzero(change)
-    return np.unique(_shrink_key(key), return_index=True)[1]
+    Dispatches to the active kernel backend: sorted inputs (traces
+    mostly walk arrays in address order) take an O(n) boundary scan,
+    dense unsorted keys an O(n + span) scatter table — identical output
+    to the ``np.unique`` sort either way."""
+    return _kernels.get_backend().first_unique(key)
 
 
 def _first_unique_counts(key: np.ndarray):
     """Like :func:`_first_unique` but also returns the multiplicity of
     each distinct key (``np.unique(..., return_counts=True)``)."""
-    n = key.size
-    if n == 0:
-        empty = np.empty(0, dtype=np.intp)
-        return empty, empty.copy()
-    if bool((key[1:] >= key[:-1]).all()):
-        change = np.empty(n, dtype=bool)
-        change[0] = True
-        np.not_equal(key[1:], key[:-1], out=change[1:])
-        first = np.flatnonzero(change)
-        counts = np.empty(first.size, dtype=np.intp)
-        counts[:-1] = np.diff(first)
-        counts[-1] = n - first[-1]
-        return first, counts
-    _, first, counts = np.unique(_shrink_key(key), return_index=True,
-                                 return_counts=True)
-    return first, counts
+    return _kernels.get_backend().first_unique_counts(key)
 
 
 def _pair_key(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
@@ -128,11 +102,7 @@ def _pair_key(groups: np.ndarray, values: np.ndarray) -> np.ndarray:
 def _consecutive_dedup(values: np.ndarray, groups: np.ndarray) -> np.ndarray:
     """Mask of entries starting a new run of equal ``values`` within the
     same ``groups`` entry (both arrays in iteration order)."""
-    if values.size == 0:
-        return np.zeros(0, dtype=bool)
-    first = np.ones(values.size, dtype=bool)
-    first[1:] = (values[1:] != values[:-1]) | (groups[1:] != groups[:-1])
-    return first
+    return _kernels.get_backend().consecutive_dedup(values, groups)
 
 
 class StreamExecutor:
@@ -249,8 +219,8 @@ class StreamExecutor:
         b, g = banks[new], groups[new]
         if b.size < 2:
             return
-        moved = (b[1:] != b[:-1]) & (g[1:] == g[:-1])
-        self.rec.traffic.record(b[:-1][moved], b[1:][moved], _MIGRATE_BYTES,
+        src, dst = _kernels.get_backend().migration_pairs(b, g)
+        self.rec.traffic.record(src, dst, _MIGRATE_BYTES,
                                 MessageClass.OFFLOAD, count=repeat)
 
     def _credits(self, cores: np.ndarray, banks: np.ndarray,
@@ -262,7 +232,7 @@ class StreamExecutor:
         if first.size == 0:
             return
         active = cores[first]
-        n_credits = np.ceil(counts / k) * repeat
+        n_credits = _kernels.get_backend().credit_roundtrips(counts, k) * repeat
         peer = banks[first]  # each core's first bank is the credit peer
         self.rec.traffic.record(active, peer, _CREDIT_BYTES,
                                 MessageClass.CONTROL, count=n_credits)

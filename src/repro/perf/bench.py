@@ -52,18 +52,23 @@ __all__ = ["run_benches", "write_bench_json", "compare_bench",
            "BENCH_NAMES", "cli"]
 
 SCHEMA_VERSION = 1
-BENCH_NAMES = ("noc", "translate", "iot", "fig12", "relayout")
+BENCH_NAMES = ("noc", "translate", "iot", "fig12", "relayout", "alloc",
+               "fig12_full")
 
 # Full-mode / smoke-mode problem sizes.
 _FULL = {
     "pairs_reps": 30, "micro_reps": 5, "micro_n": 500_000,
     "record_batches": 200, "fig12_scale": 0.06, "fig12_seed": 0,
     "relayout_scale": 1.0, "decide_arrays": 512,
+    "alloc_n": 20_000, "alloc_meshes": ((8, 8), (16, 16), (32, 32)),
+    "fig12_full_scale": 1.0,
 }
 _SMOKE = {
     "pairs_reps": 5, "micro_reps": 2, "micro_n": 50_000,
     "record_batches": 50, "fig12_scale": 0.015, "fig12_seed": 0,
     "relayout_scale": 0.25, "decide_arrays": 128,
+    "alloc_n": 2_000, "alloc_meshes": ((8, 8), (16, 16)),
+    "fig12_full_scale": 0.25,
 }
 
 
@@ -219,16 +224,30 @@ def _bench_fig12(sizes: dict) -> Dict[str, dict]:
     scale, seed = sizes["fig12_scale"], sizes["fig12_seed"]
     params = {"scale": scale, "seed": seed}
 
+    # Warmup: the first figure run in a process pays one-off costs that
+    # are nobody's throughput — imports, the C kernel dlopen, numpy
+    # ufunc setup, the workload cache's first deserialize.  Pay them
+    # once untimed so both timed legs measure steady state.
+    exp.fig12_overall(scale=scale, seed=seed)
+
+    # Best-of-3 per leg: a single end-to-end rep on a busy (or
+    # single-core) machine is too noisy to track a speedup ratio.
     t0 = time.perf_counter()
     result = exp.fig12_overall(scale=scale, seed=seed)
     rows = list(result.rows())
     sec = time.perf_counter() - t0
+    for _ in range(2):
+        sec = min(sec, _time_call(
+            lambda: exp.fig12_overall(scale=scale, seed=seed), 1))
 
     with reference_impls():
         t0 = time.perf_counter()
         ref_result = exp.fig12_overall(scale=scale, seed=seed)
         ref_rows = list(ref_result.rows())
         ref = time.perf_counter() - t0
+        for _ in range(2):
+            ref = min(ref, _time_call(
+                lambda: exp.fig12_overall(scale=scale, seed=seed), 1))
     if rows != ref_rows:
         raise RuntimeError("fig12 reference and vectorized rows diverged — "
                            "bench aborted (fix the equivalence bug first)")
@@ -249,6 +268,91 @@ def _bench_fig12(sizes: dict) -> Dict[str, dict]:
             cache.configure(root=old_root)
     metrics["fig12_cache_cold"] = _metric(cold, 1, params)
     metrics["fig12_cache_warm"] = _metric(warm, 1, params)
+    return metrics
+
+
+def _bench_fig12_full(sizes: dict) -> Dict[str, dict]:
+    """fig12 at (or near) paper scale, shipped code only.
+
+    The reference leg at scale=1.0 runs for minutes, so unlike
+    :func:`_bench_fig12` this bench tracks absolute shipped wall time —
+    the number Table 4-sized runs actually cost — rather than a
+    speedup pair."""
+    from repro.harness import experiments as exp
+
+    scale, seed = sizes["fig12_full_scale"], sizes["fig12_seed"]
+    params = {"scale": scale, "seed": seed}
+    exp.fig12_overall(scale=scale, seed=seed)  # warmup (see _bench_fig12)
+    t0 = time.perf_counter()
+    result = exp.fig12_overall(scale=scale, seed=seed)
+    nrows = len(list(result.rows()))
+    sec = time.perf_counter() - t0
+    if nrows == 0:
+        raise RuntimeError("fig12_full produced no rows")
+    return {"fig12_full_end_to_end": _metric(sec, 1, params)}
+
+
+def _bench_alloc(sizes: dict) -> Dict[str, dict]:
+    """Raw allocation throughput: policies x mesh sizes x backends.
+
+    Feeds each policy one ``select_batch`` of ``alloc_n`` irregular
+    allocations whose affinity rows are sampled from the mesh's hop
+    table — the allocator inner loop with no workload around it.  The
+    metric's ``seconds`` covers the whole batch; allocations/sec is
+    ``calls / seconds``.
+
+    Ratios (the machine-stable numbers CI gates on): the python
+    backend's Hybrid rows carry the pre-PR scalar loop as reference,
+    and every compiled backend's rows carry the python backend as
+    reference — so ``speedup`` is always a same-machine alloc ratio.
+    """
+    from repro.arch.mesh import Mesh
+    from repro.core.load import LoadTracker
+    from repro.core.policy import HybridPolicy, LinearPolicy, RandomPolicy
+    from repro.perf import kernels
+    from repro.perf.reference import hybrid_select_batch_reference
+
+    n = sizes["alloc_n"]
+    metrics = {}
+    before = kernels.get_backend().NAME
+    try:
+        for w, hgt in sizes["alloc_meshes"]:
+            mesh = Mesh(w, hgt)
+            nb = mesh.num_tiles
+            rng = np.random.default_rng(0)
+            # Affinity rows: mean hop distance to a small random group,
+            # the shape malloc_irregular_batch hands the policy.
+            group = rng.integers(0, nb, size=(n, 4))
+            mean_hops = (mesh.hops_table()[group.ravel()]
+                         .reshape(n, 4, nb).mean(axis=1))
+            # available_backends() lists python first, so the python
+            # seconds exist by the time a compiled backend needs them.
+            py_secs: Dict[str, float] = {}
+            for backend in kernels.available_backends():
+                kernels.set_backend(backend)
+                for policy in (RandomPolicy(seed=0), LinearPolicy(),
+                               HybridPolicy(h=5.0)):
+                    label = (f"alloc_{policy.name.lower()}"
+                             f"_{w}x{hgt}_{backend}")
+                    def _run(p=policy, mh=mean_hops, banks=nb):
+                        p.select_batch(mh, LoadTracker(banks), mesh)
+                    sec = _time_call(_run, 3)
+                    ref: Optional[float] = None
+                    if backend == "python":
+                        py_secs[policy.name] = sec
+                        if isinstance(policy, HybridPolicy):
+                            ref = _time_call(
+                                lambda p=policy, mh=mean_hops, banks=nb:
+                                hybrid_select_batch_reference(
+                                    p, mh, LoadTracker(banks), mesh), 3)
+                    else:
+                        ref = py_secs.get(policy.name)
+                    metrics[label] = _metric(
+                        sec, n, {"n": n, "mesh": [w, hgt],
+                                 "backend": backend,
+                                 "policy": policy.name}, ref)
+    finally:
+        kernels.set_backend(before)
     return metrics
 
 
@@ -298,6 +402,8 @@ _BENCHES = {
     "iot": _bench_iot,
     "fig12": _bench_fig12,
     "relayout": _bench_relayout,
+    "alloc": _bench_alloc,
+    "fig12_full": _bench_fig12_full,
 }
 
 
@@ -305,11 +411,20 @@ _BENCHES = {
 # Runner / JSON IO
 # ----------------------------------------------------------------------
 def _env_metadata() -> dict:
+    from repro.perf import kernels
+
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-linux
+        affinity = None
     return {
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        # Schedulable CPUs can be fewer than cpu_count in cgroups/CI.
+        "cpu_affinity": affinity,
+        **kernels.backend_info(),
         # Bench *metadata*, never a result metric; wall time is the point.
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),  # afflint: allow(DET001)
     }
@@ -406,10 +521,19 @@ def cli(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run each bench under cProfile and write "
                              "BENCH_<name>.prof next to the JSONs")
+    from repro.perf.kernels import BACKEND_CHOICES
+    parser.add_argument("--kernels", default=None, choices=BACKEND_CHOICES,
+                        help="pin the kernel backend for every bench "
+                             "(default: REPRO_KERNELS env or auto)")
     from repro.harness.cliutil import add_seed_argument
     add_seed_argument(parser, help_suffix="feeds the end-to-end benches "
                                           "(fig12, relayout) only")
     args = parser.parse_args(argv)
+
+    if args.kernels:
+        from repro.perf import kernels
+        resolved = kernels.set_backend(args.kernels)
+        print(f"[bench] kernel backend: {resolved}", flush=True)
 
     names = [n for n in args.only.split(",") if n]
     bad = [n for n in names if n not in _BENCHES]

@@ -1,0 +1,247 @@
+"""Numba-compiled kernel backend (optional; mirrors pybackend bit-for-bit).
+
+Every jitted loop executes the *same arithmetic in the same order* as
+the numpy expressions it replaces: the Eq. 4 score is evaluated per
+element as ``((load / t) - 1.0) * h + hops (+ penalty)`` — the exact
+op chain of the in-place numpy body — under default ``@njit`` IEEE
+semantics (no ``fastmath``, so no reassociation and no FMA
+contraction), and argmin is a manual first-index scan matching
+``ndarray.argmin`` tie-breaking.  Reductions that are
+order-sensitive in numpy (``loads.sum()`` uses pairwise summation)
+stay in numpy in the wrappers rather than being re-rolled in jitted
+linear loops.
+
+When numba is not importable this module still imports cleanly with
+``AVAILABLE = False`` and the registry never selects it; the dedup
+kernels whose cost is pure integer bookkeeping delegate to
+:mod:`repro.perf.kernels.pybackend` where a jit adds nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.perf.kernels import pybackend
+
+NAME = "numba"
+
+try:  # pragma: no cover - exercised only where the wheel exists
+    import numba
+    from numba import njit
+
+    AVAILABLE = True
+    NUMBA_VERSION: Optional[str] = numba.__version__
+except Exception:  # pragma: no cover
+    AVAILABLE = False
+    NUMBA_VERSION = None
+
+__all__ = [
+    "NAME",
+    "AVAILABLE",
+    "NUMBA_VERSION",
+    "hybrid_select_batch",
+    "chained_hybrid",
+    "first_unique",
+    "first_unique_counts",
+    "consecutive_dedup",
+    "migration_pairs",
+    "credit_roundtrips",
+]
+
+
+if AVAILABLE:  # pragma: no cover - exercised only where the wheel exists
+
+    @njit(cache=True)
+    def _hybrid_jit(mean_hops, loads, total, h, penalty, use_penalty, out):
+        n, nb = mean_hops.shape
+        for i in range(n):
+            if h > 0.0 and total > 0.0:
+                t = total / nb
+                best = 0
+                s = ((loads[0] / t) - 1.0) * h + mean_hops[i, 0]
+                if use_penalty:
+                    s = s + penalty[0]
+                best_s = s
+                for b in range(1, nb):
+                    s = ((loads[b] / t) - 1.0) * h + mean_hops[i, b]
+                    if use_penalty:
+                        s = s + penalty[b]
+                    if s < best_s:
+                        best_s = s
+                        best = b
+            else:
+                best = 0
+                s = mean_hops[i, 0] + penalty[0] if use_penalty \
+                    else mean_hops[i, 0]
+                best_s = s
+                for b in range(1, nb):
+                    s = mean_hops[i, b] + penalty[b] if use_penalty \
+                        else mean_hops[i, b]
+                    if s < best_s:
+                        best_s = s
+                        best = b
+            out[i] = best
+            loads[best] += 1.0
+            total += 1.0
+
+    @njit(cache=True)
+    def _chained_jit(dist_t, prev_ids, head_banks, loads, total, h,
+                     penalty, use_penalty, chosen):
+        n = prev_ids.size
+        nb = loads.size
+        for i in range(n):
+            p = prev_ids[i]
+            if p >= 0:
+                row = dist_t[chosen[p]]
+                has_row = True
+            elif head_banks[i] >= 0:
+                row = dist_t[head_banks[i]]
+                has_row = True
+            else:
+                row = dist_t[0]  # unused; zeros handled via has_row
+                has_row = False
+            if h > 0.0 and total > 0.0:
+                t = total / nb
+                best = 0
+                hop0 = row[0] if has_row else 0.0
+                s = ((loads[0] / t) - 1.0) * h + hop0
+                if use_penalty:
+                    s = s + penalty[0]
+                best_s = s
+                for b in range(1, nb):
+                    hop = row[b] if has_row else 0.0
+                    s = ((loads[b] / t) - 1.0) * h + hop
+                    if use_penalty:
+                        s = s + penalty[b]
+                    if s < best_s:
+                        best_s = s
+                        best = b
+            else:
+                best = 0
+                hop0 = row[0] if has_row else 0.0
+                s = hop0 + penalty[0] if use_penalty else hop0
+                best_s = s
+                for b in range(1, nb):
+                    hop = row[b] if has_row else 0.0
+                    s = hop + penalty[b] if use_penalty else hop
+                    if s < best_s:
+                        best_s = s
+                        best = b
+            chosen[i] = best
+            loads[best] += 1.0
+            total += 1.0
+
+    @njit(cache=True)
+    def _sorted_boundaries(key):
+        n = key.size
+        count = 1
+        for i in range(1, n):
+            if key[i] != key[i - 1]:
+                count += 1
+        first = np.empty(count, dtype=np.intp)
+        first[0] = 0
+        j = 1
+        for i in range(1, n):
+            if key[i] != key[i - 1]:
+                first[j] = i
+                j += 1
+        return first
+
+    @njit(cache=True)
+    def _is_sorted(key):
+        for i in range(1, key.size):
+            if key[i] < key[i - 1]:
+                return False
+        return True
+
+    @njit(cache=True)
+    def _consecutive_dedup_jit(values, groups):
+        n = values.size
+        first = np.empty(n, dtype=np.bool_)
+        if n == 0:
+            return first
+        first[0] = True
+        for i in range(1, n):
+            first[i] = (values[i] != values[i - 1]
+                        or groups[i] != groups[i - 1])
+        return first
+
+    @njit(cache=True)
+    def _migration_moved_jit(banks, groups):
+        n = banks.size
+        moved = np.empty(n - 1, dtype=np.bool_)
+        for i in range(1, n):
+            moved[i - 1] = (banks[i] != banks[i - 1]
+                            and groups[i] == groups[i - 1])
+        return moved
+
+    def hybrid_select_batch(mean_hops, loads, h, penalty):
+        total = float(loads.sum())  # numpy pairwise sum, as pybackend
+        n = mean_hops.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        use_penalty = penalty is not None
+        pen = penalty if use_penalty else np.empty(0, dtype=np.float64)
+        _hybrid_jit(np.ascontiguousarray(mean_hops, dtype=np.float64),
+                    loads, total, float(h), pen, use_penalty, out)
+        return out
+
+    def chained_hybrid(dist_t, prev_ids, head_banks, loads, h, penalty):
+        total = float(loads.sum())
+        chosen = np.empty(prev_ids.size, dtype=np.int64)
+        if prev_ids.size == 0:
+            return chosen
+        use_penalty = penalty is not None
+        pen = penalty if use_penalty else np.empty(0, dtype=np.float64)
+        _chained_jit(np.ascontiguousarray(dist_t, dtype=np.float64),
+                     np.ascontiguousarray(prev_ids, dtype=np.int64),
+                     np.ascontiguousarray(head_banks, dtype=np.int64),
+                     loads, total, float(h), pen, use_penalty, chosen)
+        return chosen
+
+    def first_unique(key):
+        if key.size == 0:
+            return np.empty(0, dtype=np.intp)
+        if _is_sorted(key):
+            return _sorted_boundaries(key)
+        return pybackend.first_unique(key)
+
+    def first_unique_counts(key):
+        n = key.size
+        if n == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty.copy()
+        if _is_sorted(key):
+            first = _sorted_boundaries(key)
+            counts = np.empty(first.size, dtype=np.intp)
+            counts[:-1] = np.diff(first)
+            counts[-1] = n - first[-1]
+            return first, counts
+        return pybackend.first_unique_counts(key)
+
+    def consecutive_dedup(values, groups):
+        if values.size == 0:
+            return np.zeros(0, dtype=bool)
+        return _consecutive_dedup_jit(values, groups)
+
+    def migration_pairs(banks, groups):
+        if banks.size < 2:
+            empty = np.empty(0, dtype=banks.dtype)
+            return empty, empty.copy()
+        moved = _migration_moved_jit(banks, groups)
+        return banks[:-1][moved], banks[1:][moved]
+
+else:
+    # Registry never selects this module when numba is missing, but the
+    # functions stay callable (tests import the module unconditionally).
+    hybrid_select_batch = pybackend.hybrid_select_batch
+    chained_hybrid = pybackend.chained_hybrid
+    first_unique = pybackend.first_unique
+    first_unique_counts = pybackend.first_unique_counts
+    consecutive_dedup = pybackend.consecutive_dedup
+    migration_pairs = pybackend.migration_pairs
+
+credit_roundtrips = pybackend.credit_roundtrips

@@ -1,0 +1,505 @@
+"""Numpy-only kernel backend (always available; the default oracle).
+
+The interesting piece is :func:`hybrid_select_batch`.  Eq. 4's loop is
+sequential by construction — each choice bumps the chosen bank's load,
+shifting the balance term every later step sees — so PR 3 left it as
+~3 µs/iteration of numpy dispatch and it became fig12's Amdahl wall.
+
+The rewrite here is *incremental scoring through a division table*,
+and it is exact, not approximate.  Loads only ever change by ``+= 1.0``
+inside the loop, so while they stay integer-valued the load term
+``fl(fl(fl(L / t_i) - 1) * h)`` can only take ``band × K`` distinct
+values per chunk of K steps: one per (integer load value L, step
+divisor ``t_i = (total0 + i) / nb``) pair.  Precompute that table with
+three vectorized ufunc passes in the *same in-place op order* as the
+scalar loop — every table element then carries the identical IEEE-754
+bit pattern the scalar chain would produce, because elementwise ufunc
+loops round each intermediate exactly like the scalar ops do.  Each
+step of the chunk collapses to a gather of the current loads' column
+(``np.take``), one add of the row's hop vector (plus the optional
+penalty row, in the same order), and an ``argmin`` — three numpy
+dispatches instead of six, with no data-dependent speculation to
+mispredict.
+
+Exactness needs ``total`` and the loads to stay integer-valued
+(< 2**52) so ``total0 + i`` and the band indices carry no rounding;
+the irregular-allocation trackers only ever add 1.0, but the guards
+are checked and the original sequential loop kept as the fallback for
+anything else (fractional loads, ``h < 0``, a load band wider than
+``_MAX_BAND``).  See DESIGN §12 for the full argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+NAME = "python"
+
+__all__ = [
+    "NAME",
+    "hybrid_select_batch",
+    "chained_hybrid",
+    "first_unique",
+    "first_unique_counts",
+    "consecutive_dedup",
+    "migration_pairs",
+    "credit_roundtrips",
+    "shrink_key",
+]
+
+
+# ----------------------------------------------------------------------
+# Eq. 4 bank-select
+# ----------------------------------------------------------------------
+
+#: Division-table chunk length.  Larger chunks amortize the table
+#: build over more steps but widen the load band the table must cover;
+#: 128 is the measured knee for the paper's 64-bank mesh.
+_CHUNK = 128
+
+#: Widest integer load band (max load − min load + chunk) the table is
+#: built for.  Balanced Eq. 4 batches stay within a few hundred; a
+#: pathologically skewed tracker falls back to the sequential loop
+#: rather than allocating a huge table.
+_MAX_BAND = 4096
+
+
+def _select_sequential(mean_hops: np.ndarray, loads: np.ndarray,
+                       total: float, h: float,
+                       penalty: Optional[np.ndarray],
+                       out: np.ndarray, start: int) -> None:
+    """The pre-PR-8 scalar loop, verbatim op order (exact oracle)."""
+    n, nb = mean_hops.shape
+    score = np.empty(nb, dtype=np.float64)
+    if penalty is not None:
+        for i in range(start, n):
+            if h > 0 and total > 0:
+                np.divide(loads, total / nb, out=score)
+                score -= 1.0
+                score *= h
+                score += mean_hops[i]
+                score += penalty
+                b = int(score.argmin())
+            else:
+                b = int((mean_hops[i] + penalty).argmin())
+            out[i] = b
+            loads[b] += 1.0
+            total += 1.0
+    else:
+        for i in range(start, n):
+            if h > 0 and total > 0:
+                np.divide(loads, total / nb, out=score)
+                score -= 1.0
+                score *= h
+                score += mean_hops[i]
+                b = int(score.argmin())
+            else:
+                b = int(mean_hops[i].argmin())
+            out[i] = b
+            loads[b] += 1.0
+            total += 1.0
+
+
+def hybrid_select_batch(mean_hops: np.ndarray, loads: np.ndarray,
+                        h: float,
+                        penalty: Optional[np.ndarray]) -> np.ndarray:
+    """Sequential Eq. 4 over a batch (see module docstring).
+
+    Args:
+        mean_hops: ``(n, nb)`` float64 mean hop distances.
+        loads: the caller's working copy of the per-bank loads; mutated
+            in place exactly as the scalar loop would.
+        h: the policy's load weight (finite, ≥ 0).
+        penalty: optional ``(nb,)`` additive row (0.0 healthy / inf
+            failed) for the chaos-degraded path, or None.
+
+    Returns the chosen bank per row, bit-identical to
+    :func:`repro.perf.reference.hybrid_select_batch_reference`.
+    """
+    n, nb = mean_hops.shape
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    total = float(loads.sum())
+
+    if h == 0:
+        # Min-Hop: scores never read the loads, so the whole batch
+        # collapses to one row-wise argmin (first-index ties preserved).
+        if penalty is not None:
+            out[:] = (mean_hops + penalty).argmin(axis=1)
+        else:
+            out[:] = mean_hops.argmin(axis=1)
+        np.add.at(loads, out, 1.0)
+        return out
+
+    # The division table needs the running divisors t_i = (total0 + i)
+    # / nb to carry the exact bits of `total += 1.0` and the loads to
+    # index an integer band; that holds only for integer values below
+    # 2**52 and h > 0 (h < 0 flips the scalar loop onto its hops-only
+    # branch).  Anything else takes the original loop unchanged.
+    if not (h > 0 and np.isfinite(h) and total == np.floor(total)
+            and total + n < 2.0 ** 52
+            and bool(np.all(loads == np.floor(loads)))):
+        _select_sequential(mean_hops, loads, total, h, penalty, out, 0)
+        return out
+
+    i = 0
+    # The scalar loop scores by hops alone until the first allocation
+    # lands (total == 0); replay that step before building tables.
+    while total == 0.0 and i < n:
+        if penalty is not None:
+            b = int((mean_hops[i] + penalty).argmin())
+        else:
+            b = int(mean_hops[i].argmin())
+        out[i] = b
+        loads[b] += 1.0
+        total += 1.0
+        i += 1
+
+    loads_i = loads.astype(np.int64)
+    while i < n:
+        k = min(_CHUNK, n - i)
+        lmin = int(loads_i.min())
+        band = int(loads_i.max()) - lmin + k + 1
+        if band > _MAX_BAND:
+            loads[:] = loads_i
+            _select_sequential(mean_hops, loads, total, h, penalty, out, i)
+            return out
+        # table[j, L - lmin] is the load term a bank holding L
+        # allocations scores at step i + j — the same divide / -1.0 /
+        # *h chain as the scalar body, rounded per element exactly like
+        # the scalar ops, so the gathered values are bit-identical.
+        t_col = (total + np.arange(k, dtype=np.float64)) / nb
+        table = np.divide(
+            np.arange(lmin, lmin + band, dtype=np.float64)[None, :],
+            t_col[:, None])
+        table -= 1.0
+        table *= h
+        idx = loads_i - lmin
+        if penalty is not None:
+            for j in range(k):
+                row = table[j][idx]
+                row += mean_hops[i + j]
+                row += penalty
+                b = int(row.argmin())
+                out[i + j] = b
+                idx[b] += 1
+        else:
+            for j in range(k):
+                row = table[j][idx]
+                row += mean_hops[i + j]
+                b = int(row.argmin())
+                out[i + j] = b
+                idx[b] += 1
+        np.add(idx, lmin, out=loads_i)
+        total += float(k)
+        i += k
+    loads[:] = loads_i
+    return out
+
+
+def chained_hybrid(dist_t: np.ndarray, prev_ids: np.ndarray,
+                   head_banks: np.ndarray, loads: np.ndarray, h: float,
+                   penalty: Optional[np.ndarray]) -> np.ndarray:
+    """Eq. 4 where allocation ``i``'s affinity is the bank chosen for
+    ``prev_ids[i]`` earlier in the same batch (or ``head_banks[i]``).
+
+    The hop row depends on earlier in-batch choices, but those are
+    always resolved by the time step ``i`` runs, so the same division
+    table as :func:`hybrid_select_batch` applies — only the hop vector
+    added per step changes.  ``dist_t`` is the *transposed* hop table
+    (``dist_t[j] == dist[:, j]``, C-contiguous) so each step reads a
+    contiguous row instead of a strided column.
+
+    Mutates ``loads`` in place; returns the chosen banks.
+    """
+    n = prev_ids.size
+    nb = loads.size
+    chosen = np.empty(n, dtype=np.int64)
+    zeros = np.zeros(nb, dtype=np.float64)
+    total = float(loads.sum())
+    if (h > 0 and np.isfinite(h) and total == np.floor(total)
+            and total + n < 2.0 ** 52
+            and bool(np.all(loads == np.floor(loads)))):
+        i = 0
+        # Hops-only scoring until the first allocation lands.
+        while total == 0.0 and i < n:
+            p = prev_ids[i]
+            if p >= 0:
+                hops_row = dist_t[chosen[p]]
+            elif head_banks[i] >= 0:
+                hops_row = dist_t[head_banks[i]]
+            else:
+                hops_row = zeros
+            if penalty is not None:
+                b = int((hops_row + penalty).argmin())
+            else:
+                b = int(hops_row.argmin())
+            chosen[i] = b
+            loads[b] += 1.0
+            total += 1.0
+            i += 1
+        loads_i = loads.astype(np.int64)
+        ok = True
+        while i < n:
+            k = min(_CHUNK, n - i)
+            lmin = int(loads_i.min())
+            band = int(loads_i.max()) - lmin + k + 1
+            if band > _MAX_BAND:
+                ok = False
+                break
+            t_col = (total + np.arange(k, dtype=np.float64)) / nb
+            table = np.divide(
+                np.arange(lmin, lmin + band, dtype=np.float64)[None, :],
+                t_col[:, None])
+            table -= 1.0
+            table *= h
+            idx = loads_i - lmin
+            for j in range(k):
+                p = prev_ids[i + j]
+                if p >= 0:
+                    hops_row = dist_t[chosen[p]]
+                elif head_banks[i + j] >= 0:
+                    hops_row = dist_t[head_banks[i + j]]
+                else:
+                    hops_row = zeros
+                row = table[j][idx]
+                row += hops_row
+                if penalty is not None:
+                    row += penalty
+                b = int(row.argmin())
+                chosen[i + j] = b
+                idx[b] += 1
+            np.add(idx, lmin, out=loads_i)
+            total += float(k)
+            i += k
+        loads[:] = loads_i
+        if ok:
+            return chosen
+        # Skewed load band: finish on the scalar body below.
+        n_start = i
+    else:
+        n_start = 0
+    score = np.empty(nb, dtype=np.float64)
+    if penalty is not None:
+        for i in range(n_start, n):
+            p = prev_ids[i]
+            if p >= 0:
+                hops_row = dist_t[chosen[p]]
+            elif head_banks[i] >= 0:
+                hops_row = dist_t[head_banks[i]]
+            else:
+                hops_row = zeros
+            if h > 0 and total > 0:
+                np.divide(loads, total / nb, out=score)
+                score -= 1.0
+                score *= h
+                score += hops_row
+                score += penalty
+                b = int(score.argmin())
+            else:
+                b = int((hops_row + penalty).argmin())
+            chosen[i] = b
+            loads[b] += 1.0
+            total += 1.0
+    else:
+        for i in range(n_start, n):
+            p = prev_ids[i]
+            if p >= 0:
+                hops_row = dist_t[chosen[p]]
+            elif head_banks[i] >= 0:
+                hops_row = dist_t[head_banks[i]]
+            else:
+                hops_row = zeros
+            if h > 0 and total > 0:
+                np.divide(loads, total / nb, out=score)
+                score -= 1.0
+                score *= h
+                score += hops_row
+                b = int(score.argmin())
+            else:
+                b = int(hops_row.argmin())
+            chosen[i] = b
+            loads[b] += 1.0
+            total += 1.0
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Executor dedup / accounting kernels
+# ----------------------------------------------------------------------
+
+def shrink_key(key: np.ndarray) -> np.ndarray:
+    """Bias the key to its minimum and narrow to int32 when it fits.
+
+    Subtracting a constant and narrowing the dtype are strictly
+    monotone, so ``np.unique``'s sort order — and therefore the
+    first-occurrence indices the callers consume — is unchanged, while
+    the radix sort runs half the passes over half the bytes."""
+    lo = key.min()
+    if int(key.max()) - int(lo) < (1 << 31):
+        return (key - lo).astype(np.int32)
+    return key
+
+
+#: Use the O(n + span) scatter table instead of ``np.unique``'s sort
+#: when the key span is at most this multiple of n (plus slack for
+#: tiny inputs).  Beyond it the table's memory traffic loses to the
+#: int32 radix sort.
+_SCATTER_SLACK = 1024
+
+
+def _scatter_table(key: np.ndarray, n: int) -> Optional[np.ndarray]:
+    """First-occurrence index per key value (or None when too sparse).
+
+    ``table[v - lo]`` is the index of the first occurrence of value
+    ``v``, or -1 when absent.  Built with one reversed fancy
+    assignment: numpy scatter keeps the *last* write per duplicate
+    target, so writing indices in reverse order leaves the first."""
+    lo = int(key.min())
+    span = int(key.max()) - lo + 1
+    if span > 4 * n + _SCATTER_SLACK:
+        return None
+    table = np.full(span, -1, dtype=np.intp)
+    table[(key - lo)[::-1]] = np.arange(n - 1, -1, -1, dtype=np.intp)
+    return table
+
+
+def _is_sorted(key: np.ndarray) -> bool:
+    """Non-decreasing test with a cheap 64-element head reject: unsorted
+    inputs (the ones about to pay an argsort) almost always betray
+    themselves immediately, so the full O(n) comparison pass is only
+    spent on inputs that are still candidates for the O(n) scan path."""
+    if key.size > 65 and not bool((key[1:65] >= key[:64]).all()):
+        return False
+    return bool((key[1:] >= key[:-1]).all())
+
+
+def first_unique(key: np.ndarray) -> np.ndarray:
+    """``np.unique(key, return_index=True)[1]``: index of the first
+    occurrence of each distinct key, ordered by ascending key.
+
+    Sorted inputs (traces mostly walk arrays in address order) take an
+    O(n) boundary scan; dense unsorted keys take the O(n + span)
+    scatter table — both identical to the ``np.unique`` sort, which
+    remains the sparse-key fallback."""
+    n = key.size
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if _is_sorted(key):
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(key[1:], key[:-1], out=change[1:])
+        return np.flatnonzero(change)
+    table = _scatter_table(key, n)
+    if table is not None:
+        return table[table >= 0]
+    starts = _collapse_runs(key, n)
+    if starts is None:
+        return _argsort_first(shrink_key(key))[0]
+    first, _ = _argsort_first(shrink_key(key[starts]))
+    return starts[first]
+
+
+def _collapse_runs(key: np.ndarray, n: int) -> Optional[np.ndarray]:
+    """Indices of consecutive-duplicate run starts, or None when runs
+    are too short to pay for themselves.
+
+    Executor line walks repeat each cache line ``line/elem_size`` times
+    back to back, so the sparse unsorted keys about to pay an argsort
+    typically shrink ~an order of magnitude under run collapse.  Every
+    run start carries its run's original position, and the *first* run
+    of a key starts at that key's first occurrence — so deduping the
+    run starts and mapping through them is exactly deduping ``key``."""
+    mask = np.empty(n, dtype=bool)
+    mask[0] = True
+    np.not_equal(key[1:], key[:-1], out=mask[1:])
+    if 2 * int(np.count_nonzero(mask)) > n:
+        return None
+    return np.flatnonzero(mask)
+
+
+def _argsort_first(key: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """First-occurrence indices and run boundaries via one stable sort.
+
+    A stable argsort puts equal keys in original order, so the index at
+    each run boundary of the sorted keys *is* the first occurrence —
+    exactly what ``np.unique(key, return_index=True)`` computes, minus
+    its second pass over the values."""
+    order = np.argsort(key, kind="stable")
+    sk = key[order]
+    change = np.empty(key.size, dtype=bool)
+    change[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=change[1:])
+    return order[change], np.flatnonzero(change)
+
+
+def first_unique_counts(key: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Like :func:`first_unique` but also returns the multiplicity of
+    each distinct key (``np.unique(..., return_counts=True)``)."""
+    n = key.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty.copy()
+    if _is_sorted(key):
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(key[1:], key[:-1], out=change[1:])
+        first = np.flatnonzero(change)
+        counts = np.empty(first.size, dtype=np.intp)
+        counts[:-1] = np.diff(first)
+        counts[-1] = n - first[-1]
+        return first, counts
+    table = _scatter_table(key, n)
+    if table is not None:
+        present = table >= 0
+        lo = key.min()
+        all_counts = np.bincount(key - lo, minlength=table.size)
+        return table[present], all_counts[present].astype(np.intp, copy=False)
+    starts = _collapse_runs(key, n)
+    if starts is None:
+        first, bounds = _argsort_first(shrink_key(key))
+        counts = np.empty(bounds.size, dtype=np.intp)
+        counts[:-1] = np.diff(bounds)
+        counts[-1] = n - bounds[-1]
+        return first, counts
+    # Sort run starts only; a key's count is the total length of its
+    # runs, gathered per sorted run and summed per distinct key — every
+    # addend is an exact small integer, so this matches the full sort.
+    work = shrink_key(key[starts])
+    order = np.argsort(work, kind="stable")
+    sk = work[order]
+    change = np.empty(work.size, dtype=bool)
+    change[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=change[1:])
+    bounds = np.flatnonzero(change)
+    runlens = np.empty(starts.size, dtype=np.intp)
+    runlens[:-1] = np.diff(starts)
+    runlens[-1] = n - starts[-1]
+    counts = np.add.reduceat(runlens[order], bounds)
+    return starts[order[change]], counts.astype(np.intp, copy=False)
+
+
+def consecutive_dedup(values: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """Mask of entries starting a new run of equal ``values`` within the
+    same ``groups`` entry (both arrays in iteration order)."""
+    if values.size == 0:
+        return np.zeros(0, dtype=bool)
+    first = np.ones(values.size, dtype=bool)
+    first[1:] = (values[1:] != values[:-1]) | (groups[1:] != groups[:-1])
+    return first
+
+
+def migration_pairs(banks: np.ndarray,
+                    groups: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(src, dst) bank pairs where a stream migrates between
+    consecutive deduped touches of the same group."""
+    moved = (banks[1:] != banks[:-1]) & (groups[1:] == groups[:-1])
+    return banks[:-1][moved], banks[1:][moved]
+
+
+def credit_roundtrips(counts: np.ndarray, credit_iters: float) -> np.ndarray:
+    """Per-core credit round trips: one per ``credit_iters`` iterations."""
+    return np.ceil(counts / credit_iters)

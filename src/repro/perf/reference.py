@@ -265,6 +265,34 @@ def reference_impls():
             self._pair_hops = self.mesh.hops(idx // n, idx % n).astype(np.float64)
         return self._pair_hops
 
+    # PR 4 grew the shipped signatures (fault masks, raw-bank lookups)
+    # after these references were frozen.  The wrappers below keep the
+    # reference loops verbatim as the timed "before" core while
+    # accepting the newer call shapes; the fault-injected variants have
+    # no pre-PR-4 original to reproduce, so they are clean-run only.
+    def _iot_banks_compat(self, addrs, default_shift, apply_remap=True):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        banks = iot_banks_reference(self, addrs, default_shift)
+        if self._mig:
+            banks = self._apply_migrations(addrs, banks)
+        if apply_remap and self._remap is not None:
+            return self._remap[banks]
+        return banks
+
+    def _select_batch_compat(self, mean_hops, load, mesh, mask=None):
+        if mask is not None:
+            raise NotImplementedError(
+                "reference select_batch predates fault masks; "
+                "reference_impls() is clean-run only")
+        return hybrid_select_batch_reference(self, mean_hops, load, mesh)
+
+    def _chained_hybrid_compat(self, prev_ids, head_banks, n, nb, mask=None):
+        if mask is not None:
+            raise NotImplementedError(
+                "reference chained path predates fault masks; "
+                "reference_impls() is clean-run only")
+        return chained_hybrid_reference(self, prev_ids, head_banks, n, nb)
+
     saved = [
         (noc_mod, "pair_channel_loads", noc_mod.pair_channel_loads),
         (model_mod, "pair_channel_loads", model_mod.pair_channel_loads),
@@ -295,12 +323,12 @@ def reference_impls():
         noc_mod.TrafficAccountant._hops_per_pair = _per_instance_hops
         mesh_mod.Mesh.link_loads = mesh_link_loads_reference
         layout_mod.AddressSpace.translate = translate_reference
-        iot_mod.InterleaveOverrideTable.banks = iot_banks_reference
+        iot_mod.InterleaveOverrideTable.banks = _iot_banks_compat
         machine_mod.Machine._register_heap_footprint = \
             register_heap_footprint_reference
         runtime_mod._affinity_hop_sums = affinity_hop_sums_reference
-        policy_mod.HybridPolicy.select_batch = hybrid_select_batch_reference
-        runtime_mod.AffinityAllocator._chained_hybrid = chained_hybrid_reference
+        policy_mod.HybridPolicy.select_batch = _select_batch_compat
+        runtime_mod.AffinityAllocator._chained_hybrid = _chained_hybrid_compat
         executor_mod._first_unique = first_unique_reference
         executor_mod._first_unique_counts = first_unique_counts_reference
         yield

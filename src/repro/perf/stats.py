@@ -111,9 +111,17 @@ class RunRecorder:
     def _accumulate(target: np.ndarray, idx, count) -> None:
         idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
         count = np.broadcast_to(np.asarray(count, dtype=np.float64), idx.shape)
-        if idx.size and (idx.min() < 0 or idx.max() >= target.size):
+        # bincount itself rejects negative indices, and an index past the
+        # end yields a histogram longer than ``target`` — so bounds
+        # violations surface without paying two extra reduction passes
+        # per call on the hot accounting path.
+        try:
+            binned = np.bincount(idx, weights=count, minlength=target.size)
+        except ValueError:
+            raise ValueError("bank/core index out of range") from None
+        if binned.size > target.size:
             raise ValueError("bank/core index out of range")
-        target += np.bincount(idx, weights=count, minlength=target.size)
+        target += binned
 
     # ------------------------------------------------------------------
     # Phases

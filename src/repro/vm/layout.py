@@ -95,12 +95,15 @@ class PagedRegion:
         else:
             pages = offs // self.page_size
             in_page = offs % self.page_size
-        # Single-pass min/max reductions instead of full boolean masks;
-        # the masks are only materialized on the error paths.
-        if pages.size and int(pages.max()) >= self._frames.size:
+        # take() bounds-checks the gather itself, so the only extra
+        # validity pass left is the unmapped-frame min(); full boolean
+        # masks are only materialized on the error paths.
+        try:
+            frames = self._frames.take(pages)
+        except IndexError:
             bad = vaddrs[pages >= self._frames.size][0]
-            raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")
-        frames = self._frames[pages]
+            raise RuntimeError(f"access to unmapped page in {self.name}: "
+                               f"{int(bad):#x}") from None
         if frames.size and int(frames.min()) < 0:
             bad = vaddrs[frames < 0][0]
             raise RuntimeError(f"access to unmapped page in {self.name}: {int(bad):#x}")

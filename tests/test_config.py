@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.config import (DEFAULT_CONFIG, CacheConfig, DramConfig, NocConfig,
-                          PerfParams, SystemConfig)
+                          PerfParams, SystemConfig, config_for_mesh)
 
 
 class TestTable2Defaults:
@@ -63,3 +63,42 @@ class TestConfigMechanics:
         assert p.core_ops_per_cycle > 0
         assert p.bank_ops_per_cycle > 0
         assert p.pj_dram_access > p.pj_l3_access > p.pj_per_hop_flit
+
+
+class TestConfigForMesh:
+    def test_8x8_is_the_default_platform(self):
+        assert config_for_mesh(8, 8) == DEFAULT_CONFIG
+
+    def test_16x16_scales_banks_and_channels(self):
+        cfg = config_for_mesh(16, 16)
+        assert cfg.num_banks == 256
+        assert cfg.num_cores == 256
+        assert cfg.dram.channels == 16
+        # Per-tile constants are untouched.
+        assert cfg.cache == DEFAULT_CONFIG.cache
+        assert cfg.perf == DEFAULT_CONFIG.perf
+        assert cfg.noc.link_bytes_per_cycle == \
+            DEFAULT_CONFIG.noc.link_bytes_per_cycle
+
+    def test_32x32_scales_banks_and_channels(self):
+        cfg = config_for_mesh(32, 32)
+        assert cfg.num_banks == 1024
+        assert cfg.dram.channels == 64
+        assert cfg.total_l3_bytes == 1024 << 20
+
+    def test_channels_floor_and_even(self):
+        assert config_for_mesh(2, 2).dram.channels == 2
+        for w, hgt in ((4, 4), (8, 4), (10, 10), (16, 16)):
+            assert config_for_mesh(w, hgt).dram.channels % 2 == 0
+
+    def test_base_override(self):
+        base = DEFAULT_CONFIG.scaled(
+            cache=dataclasses.replace(DEFAULT_CONFIG.cache,
+                                      bank_capacity_bytes=1 << 19))
+        cfg = config_for_mesh(16, 16, base=base)
+        assert cfg.cache.bank_capacity_bytes == 1 << 19
+        assert cfg.num_banks == 256
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ValueError):
+            config_for_mesh(0, 8)

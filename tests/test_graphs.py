@@ -141,3 +141,28 @@ class TestDatasets:
     def test_bad_scale(self):
         with pytest.raises(ValueError):
             load_real_world("gplus", scale=0)
+
+    def test_load_for_mesh_scales_vertices(self):
+        from repro.graphs.datasets import MESH_BASE_TILES, load_for_mesh
+        spec = REAL_WORLD_GRAPHS["twitch-gamers"]
+        small = load_for_mesh("twitch-gamers", 256, scale=0.01)
+        # 4x the tiles of the base platform => 4x the vertices.
+        assert MESH_BASE_TILES == 64
+        assert small.num_vertices == int(spec.num_vertices * 0.01 * 4)
+        assert small.avg_degree == pytest.approx(spec.avg_degree, rel=0.2)
+
+    def test_load_for_mesh_base_matches_real_world(self):
+        from repro.graphs.datasets import load_for_mesh
+        a = load_for_mesh("gplus", 64, scale=0.02)
+        b = load_real_world("gplus", scale=0.02)
+        assert a.num_vertices == b.num_vertices
+        assert a.num_edges == b.num_edges
+
+    def test_load_for_mesh_rejects_bad_args(self):
+        from repro.graphs.datasets import load_for_mesh
+        with pytest.raises(KeyError):
+            load_for_mesh("facebook", 64)
+        with pytest.raises(ValueError):
+            load_for_mesh("gplus", 0)
+        with pytest.raises(ValueError):
+            load_for_mesh("gplus", 64, scale=1.5)

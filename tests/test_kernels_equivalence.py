@@ -1,0 +1,431 @@
+"""Kernel backends vs. the scalar Eq. 4 oracle — bit-identical, always.
+
+PR 8's contract: every compute backend (``python`` division-table,
+``numba`` njit loops, ``c`` ctypes kernels) executes the same arithmetic
+in the same IEEE order as the pre-PR scalar loop, so goldens and
+``run-<hash>.json`` never move when the backend changes.  The oracle
+here is an *independent* re-statement of that scalar chain (not a call
+into the shipped code), and every assertion is ``array_equal`` on exact
+bit values — never ``allclose``.
+
+Backends that cannot run in this interpreter (no numba wheel, no system
+C compiler) skip cleanly; the python backend always runs.
+"""
+
+import importlib.util
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.mesh import Mesh
+from repro.perf import kernels
+from repro.perf.kernels import pybackend
+
+
+# ----------------------------------------------------------------------
+# Backend parametrization (unavailable ones skip, never fail)
+# ----------------------------------------------------------------------
+def _backend_params():
+    params = [pytest.param("python", id="python")]
+    have_numba = importlib.util.find_spec("numba") is not None
+    params.append(pytest.param(
+        "numba", id="numba",
+        marks=pytest.mark.skipif(not have_numba,
+                                 reason="numba wheel not installed")))
+    params.append(pytest.param(
+        "c", id="c",
+        marks=pytest.mark.skipif(not kernels._c_available(),
+                                 reason="no working system C compiler")))
+    return params
+
+
+BACKENDS = _backend_params()
+
+
+def _module(name):
+    if name == "python":
+        return pybackend
+    if name == "numba":
+        from repro.perf.kernels import nbbackend
+        return nbbackend
+    from repro.perf.kernels import cbackend
+    return cbackend
+
+
+# ----------------------------------------------------------------------
+# Independent scalar oracles (verbatim pre-PR op chains)
+# ----------------------------------------------------------------------
+def oracle_select(mean_hops, loads, h, penalty):
+    """The original HybridPolicy.select_batch inner loop, restated."""
+    n, nb = mean_hops.shape
+    loads = loads.copy()
+    total = float(loads.sum())
+    out = np.empty(n, dtype=np.int64)
+    score = np.empty(nb, dtype=np.float64)
+    for i in range(n):
+        if h > 0 and total > 0:
+            np.divide(loads, total / nb, out=score)
+            score -= 1.0
+            score *= h
+            score += mean_hops[i]
+            if penalty is not None:
+                score += penalty
+            b = int(score.argmin())
+        elif penalty is not None:
+            b = int((mean_hops[i] + penalty).argmin())
+        else:
+            b = int(mean_hops[i].argmin())
+        out[i] = b
+        loads[b] += 1.0
+        total += 1.0
+    return out, loads
+
+
+def oracle_chained(dist_t, prev_ids, head_banks, loads, h, penalty):
+    """The original AffinityAllocator._chained_hybrid loop, restated."""
+    n = prev_ids.size
+    nb = loads.size
+    loads = loads.copy()
+    total = float(loads.sum())
+    chosen = np.empty(n, dtype=np.int64)
+    zeros = np.zeros(nb, dtype=np.float64)
+    score = np.empty(nb, dtype=np.float64)
+    for i in range(n):
+        p = prev_ids[i]
+        if p >= 0:
+            hops_row = dist_t[chosen[p]]
+        elif head_banks[i] >= 0:
+            hops_row = dist_t[head_banks[i]]
+        else:
+            hops_row = zeros
+        if h > 0 and total > 0:
+            np.divide(loads, total / nb, out=score)
+            score -= 1.0
+            score *= h
+            score += hops_row
+            if penalty is not None:
+                score += penalty
+            b = int(score.argmin())
+        elif penalty is not None:
+            b = int((hops_row + penalty).argmin())
+        else:
+            b = int(hops_row.argmin())
+        chosen[i] = b
+        loads[b] += 1.0
+        total += 1.0
+    return chosen, loads
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+H_VALUES = st.sampled_from([0.0, 0.5, 1.0, 5.0, 17.0])
+NB_VALUES = st.sampled_from([4, 16, 64])
+
+
+def _draw_penalty(data, nb):
+    kind = data.draw(st.sampled_from(["none", "zeros", "failed"]))
+    if kind == "none":
+        return None
+    penalty = np.zeros(nb, dtype=np.float64)
+    if kind == "failed":
+        # Degraded mesh: some banks carry an infinite penalty, but never
+        # all of them (the allocator refuses a fully-failed mesh).
+        k = data.draw(st.integers(1, nb - 1))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        penalty[rng.choice(nb, size=k, replace=False)] = np.inf
+    return penalty
+
+
+def _draw_mean_hops(data, n, nb):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    if data.draw(st.booleans()):
+        # Integer hop counts: maximal tie pressure on the argmin.
+        return rng.integers(0, 8, size=(n, nb)).astype(np.float64)
+    return rng.uniform(0.0, 14.0, size=(n, nb))
+
+
+def _draw_loads(data, nb):
+    kind = data.draw(st.sampled_from(["zero", "small", "skewed"]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    if kind == "zero":
+        return np.zeros(nb, dtype=np.float64)
+    if kind == "small":
+        return rng.integers(0, 50, size=nb).astype(np.float64)
+    loads = rng.integers(0, 10, size=nb).astype(np.float64)
+    loads[int(rng.integers(0, nb))] += float(rng.integers(5_000, 20_000))
+    return loads
+
+
+# ----------------------------------------------------------------------
+# hybrid_select_batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSelectBatchEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(h=H_VALUES, nb=NB_VALUES, n=st.integers(0, 200), data=st.data())
+    def test_matches_oracle(self, backend, h, nb, n, data):
+        mod = _module(backend)
+        mean_hops = _draw_mean_hops(data, n, nb)
+        loads = _draw_loads(data, nb)
+        penalty = _draw_penalty(data, nb)
+        want_out, want_loads = oracle_select(mean_hops, loads, h, penalty)
+        got_loads = loads.copy()
+        got_out = mod.hybrid_select_batch(mean_hops, got_loads, h, penalty)
+        assert np.array_equal(got_out, want_out)
+        assert np.array_equal(got_loads, want_loads)
+
+    def test_empty_batch(self, backend):
+        mod = _module(backend)
+        loads = np.zeros(16, dtype=np.float64)
+        out = mod.hybrid_select_batch(
+            np.empty((0, 16), dtype=np.float64), loads, 5.0, None)
+        assert out.size == 0 and out.dtype == np.int64
+        assert np.array_equal(loads, np.zeros(16))
+
+    def test_all_zero_loads_head_replay(self, backend):
+        # total == 0 scores by hops alone until the first choice lands.
+        mod = _module(backend)
+        rng = np.random.default_rng(3)
+        mean_hops = rng.uniform(0, 10, size=(50, 16))
+        loads = np.zeros(16, dtype=np.float64)
+        want_out, want_loads = oracle_select(mean_hops, loads, 5.0, None)
+        got = mod.hybrid_select_batch(mean_hops, loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(loads, want_loads)
+
+    def test_fractional_loads_fall_back_exactly(self, backend):
+        # Non-integer loads disable the table/compiled fast paths; the
+        # result must still carry the scalar chain's exact bits.
+        mod = _module(backend)
+        rng = np.random.default_rng(11)
+        mean_hops = rng.uniform(0, 10, size=(80, 16))
+        loads = rng.uniform(0.0, 5.0, size=16)
+        want_out, want_loads = oracle_select(mean_hops, loads, 5.0, None)
+        got_loads = loads.copy()
+        got = mod.hybrid_select_batch(mean_hops, got_loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(got_loads, want_loads)
+
+    def test_exact_ties_pick_first_index(self, backend):
+        # Identical rows + identical loads: argmin's first-index rule is
+        # the determinism contract every backend must reproduce.
+        mod = _module(backend)
+        mean_hops = np.zeros((8, 16), dtype=np.float64)
+        loads = np.zeros(16, dtype=np.float64)
+        want_out, _ = oracle_select(mean_hops, loads, 5.0, None)
+        got = mod.hybrid_select_batch(mean_hops, loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+
+    def test_inf_penalty_never_chosen(self, backend):
+        mod = _module(backend)
+        rng = np.random.default_rng(5)
+        mean_hops = rng.uniform(0, 10, size=(64, 16))
+        penalty = np.zeros(16)
+        penalty[[1, 7, 9]] = np.inf
+        loads = np.zeros(16, dtype=np.float64)
+        want_out, _ = oracle_select(mean_hops, loads, 5.0, penalty)
+        got = mod.hybrid_select_batch(
+            mean_hops, np.zeros(16), 5.0, penalty)
+        assert np.array_equal(got, want_out)
+        assert not np.isin(got, [1, 7, 9]).any()
+
+
+# ----------------------------------------------------------------------
+# chained_hybrid
+# ----------------------------------------------------------------------
+def _chained_inputs(data, n, nb):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    prev_ids = np.full(n, -1, dtype=np.int64)
+    head_banks = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        kind = rng.integers(0, 3)
+        if kind == 0 and i > 0:
+            prev_ids[i] = rng.integers(0, i)
+        elif kind == 1:
+            head_banks[i] = rng.integers(0, nb)
+    return prev_ids, head_banks
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestChainedHybridEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(h=H_VALUES, n=st.integers(0, 200), data=st.data())
+    def test_matches_oracle(self, backend, h, n, data):
+        mod = _module(backend)
+        mesh = Mesh(4, 4)
+        nb = mesh.num_tiles
+        dist_t = mesh.hops_table().T.astype(np.float64)
+        prev_ids, head_banks = _chained_inputs(data, n, nb)
+        loads = _draw_loads(data, nb)
+        penalty = _draw_penalty(data, nb)
+        want_out, want_loads = oracle_chained(
+            dist_t, prev_ids, head_banks, loads, h, penalty)
+        got_loads = loads.copy()
+        got = mod.chained_hybrid(
+            dist_t, prev_ids, head_banks, got_loads, h, penalty)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(got_loads, want_loads)
+
+    def test_chain_follows_previous_choice(self, backend):
+        # A pure chain (every node points at its predecessor) on one
+        # bank's hop row must match the oracle step for step.
+        mod = _module(backend)
+        mesh = Mesh(8, 8)
+        dist_t = mesh.hops_table().T.astype(np.float64)
+        n = 300
+        prev_ids = np.arange(-1, n - 1, dtype=np.int64)
+        head_banks = np.full(n, -1, dtype=np.int64)
+        head_banks[0] = 27
+        loads = np.zeros(64, dtype=np.float64)
+        want_out, want_loads = oracle_chained(
+            dist_t, prev_ids, head_banks, loads, 5.0, None)
+        got = mod.chained_hybrid(
+            dist_t, prev_ids, head_banks, loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(loads, want_loads)
+
+
+# ----------------------------------------------------------------------
+# Skew fallback + chunk boundaries (python table path specifics)
+# ----------------------------------------------------------------------
+class TestDivisionTableInternals:
+    def test_band_overflow_falls_back_exactly(self):
+        rng = np.random.default_rng(2)
+        mean_hops = rng.uniform(0, 10, size=(150, 16))
+        loads = np.zeros(16, dtype=np.float64)
+        loads[3] = float(pybackend._MAX_BAND * 3)  # band >> _MAX_BAND
+        want_out, want_loads = oracle_select(mean_hops, loads, 5.0, None)
+        got_loads = loads.copy()
+        got = pybackend.hybrid_select_batch(mean_hops, got_loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(got_loads, want_loads)
+
+    def test_batch_spanning_many_chunks(self):
+        n = pybackend._CHUNK * 3 + 17
+        rng = np.random.default_rng(9)
+        mean_hops = rng.uniform(0, 10, size=(n, 64))
+        loads = rng.integers(0, 30, size=64).astype(np.float64)
+        want_out, want_loads = oracle_select(mean_hops, loads, 5.0, None)
+        got_loads = loads.copy()
+        got = pybackend.hybrid_select_batch(mean_hops, got_loads, 5.0, None)
+        assert np.array_equal(got, want_out)
+        assert np.array_equal(got_loads, want_loads)
+
+
+# ----------------------------------------------------------------------
+# Dedup kernels (np.unique semantics, integer-exact)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDedupEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), presort=st.booleans())
+    def test_first_unique_matches_np_unique(self, backend, data, presort):
+        mod = _module(backend)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        n = data.draw(st.integers(0, 400))
+        span = data.draw(st.sampled_from([4, 1 << 10, 1 << 30, 1 << 50]))
+        key = rng.integers(-span, span, size=n)
+        if presort:
+            key.sort()
+        want = np.unique(key, return_index=True)[1]
+        assert np.array_equal(mod.first_unique(key), want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_first_unique_counts_matches_np_unique(self, backend, data):
+        mod = _module(backend)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        n = data.draw(st.integers(0, 400))
+        span = data.draw(st.sampled_from([4, 1 << 10, 1 << 50]))
+        key = rng.integers(-span, span, size=n)
+        _, want_first, want_counts = np.unique(
+            key, return_index=True, return_counts=True)
+        got_first, got_counts = mod.first_unique_counts(key)
+        assert np.array_equal(got_first, want_first)
+        assert np.array_equal(got_counts, want_counts)
+
+    def test_sparse_unsorted_fallback_path(self, backend):
+        # Wide span + unsorted defeats both the boundary scan and the
+        # scatter table, forcing each backend's sparse fallback (stable
+        # argsort in python, radix sort in c).
+        mod = _module(backend)
+        rng = np.random.default_rng(17)
+        key = rng.integers(-(1 << 55), 1 << 55, size=10_000)
+        key = np.concatenate([key, key[::3]])  # real duplicates
+        want = np.unique(key, return_index=True)[1]
+        assert np.array_equal(mod.first_unique(key), want)
+        got_first, got_counts = mod.first_unique_counts(key)
+        _, wf, wc = np.unique(key, return_index=True, return_counts=True)
+        assert np.array_equal(got_first, wf)
+        assert np.array_equal(got_counts, wc)
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+class TestBackendRegistry:
+    def test_python_always_available(self):
+        assert "python" in kernels.available_backends()
+
+    def test_set_backend_roundtrip(self):
+        before = kernels.get_backend().NAME
+        try:
+            assert kernels.set_backend("python") == "python"
+            assert kernels.get_backend() is pybackend
+        finally:
+            kernels.set_backend(before)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_unavailable_backend_warns_and_falls_back(self):
+        before = kernels.get_backend().NAME
+        try:
+            if importlib.util.find_spec("numba") is None:
+                with pytest.warns(RuntimeWarning, match="numba"):
+                    assert kernels.set_backend("numba") == "python"
+            else:
+                assert kernels.set_backend("numba") == "numba"
+        finally:
+            kernels.set_backend(before)
+
+    def test_backend_info_shape(self):
+        info = kernels.backend_info()
+        assert set(info) == {"kernels", "numba", "cc"}
+        assert info["kernels"] in ("python", "numba", "c")
+
+
+# ----------------------------------------------------------------------
+# Golden byte-identity across backends (the reason all of the above
+# insists on exact bits): the harness run-<hash>.json must not change
+# when the compute backend does.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend",
+                         [p for p in BACKENDS if p.id != "python"])
+def test_run_json_byte_identical_across_backends(backend, tmp_path):
+    from repro.harness import runner
+
+    before = kernels.get_backend().NAME
+    payloads = {}
+    try:
+        for name in ("python", backend):
+            kernels.set_backend(name)
+            out = tmp_path / name
+            runner.run_figures(("fig12",), jobs=1, scale=0.015, seed=0,
+                               results_dir=out)
+            files = sorted(out.glob("run-*.json"))
+            assert len(files) == 1
+            payloads[name] = (files[0].name, files[0].read_bytes())
+    finally:
+        kernels.set_backend(before)
+    ref_name, ref_bytes = payloads["python"]
+    got_name, got_bytes = payloads[backend]
+    assert got_name == ref_name, "run hash moved across backends"
+    assert got_bytes == ref_bytes, "run-<hash>.json not byte-identical"
+    # Sanity: the payload is real JSON with figure rows in it.
+    doc = json.loads(ref_bytes)
+    assert doc["figures"]
