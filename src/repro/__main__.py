@@ -16,6 +16,8 @@ Usage::
     python -m repro chaos --seed 0 --rate 0.05   # fault injection +
                                            # degradation report
     python -m repro chaos --plan plan.json vecadd pr_push
+    python -m repro interfere                # host-contention sweep
+    python -m repro interfere vecadd --intensity 2 --sweep 0.5,1,2,4
     python -m repro autoplace                # static vs online re-layout
     python -m repro autoplace stream_flip --scale 0.1 --check-determinism
     python -m repro trace vecadd --out trace.json --metrics m.csv --top 5
@@ -57,6 +59,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "chaos":
         from repro.faults.chaos import cli as chaos_cli
         return chaos_cli(list(argv[1:]))
+    if argv and argv[0] == "interfere":
+        from repro.interfere.cli import cli as interfere_cli
+        return interfere_cli(list(argv[1:]))
     if argv and argv[0] == "autoplace":
         from repro.relayout.autoplace import cli as autoplace_cli
         return autoplace_cli(list(argv[1:]))

@@ -30,6 +30,12 @@ demand through the runtime's own Eq. 4 bank-select policy with one
   another's home banks),
 * INT005 — (validation mode) the predicted contention matrix diverges
   from measured traffic counters beyond the tolerance contract.
+* INT006 — (host-injection mode) what an interference run *actually*
+  charged diverges from the pure replay of its
+  :class:`~repro.interfere.plan.HostTrafficPlan`
+  (:func:`~repro.interfere.plan.predict_host_injection`), or re-homing
+  failed to conserve the injected access mass
+  (:func:`verify_host_injection`).
 
 **Batched Eq. 4 scoring.**  The hop term of Eq. 4 is computed for *all*
 tenants at once as one matrix product — every tenant's affine bank
@@ -55,7 +61,10 @@ either bound is exceeded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.interfere.engine import InterferenceState
 
 import numpy as np
 
@@ -84,6 +93,8 @@ __all__ = [
     "analyze_interference",
     "tenants_from_workloads",
     "validate_contention",
+    "verify_host_injection",
+    "HOST_INJECTION_RTOL",
     "HOT_BANK_FACTOR",
     "HOT_SHARE_FLOOR",
     "HOME_MASS_FRACTION",
@@ -127,6 +138,12 @@ ACCESS_SHARE_TOLERANCE = 0.05
 #: INT005 tolerance against per-bank DATA ejection flits from the
 #: TrafficAccountant (looser: ports also carry core-bound responses).
 FLIT_SHARE_TOLERANCE = 0.10
+
+#: INT006 tolerance: relative divergence allowed between the engine's
+#: injected-traffic ledger and the pure plan replay.  The two walk the
+#: identical stream/epoch order with identical arithmetic, so this only
+#: absorbs float noise — any modeling drift lands far above it.
+HOST_INJECTION_RTOL = 1e-9
 
 #: Per-tenant cap on simulated irregular placement units; demand beyond
 #: the cap is coarsened into equal-weight units (Eq. 4 sees the same
@@ -589,3 +606,75 @@ def validate_contention(tenants: Sequence[Tenant],
                 fix_hint="the plan no longer describes what the "
                          "workload allocates; update layout_plan()"))
     return report, rows
+
+
+# ----------------------------------------------------------------------
+# Host-injection contract (INT006)
+# ----------------------------------------------------------------------
+def verify_host_injection(state: "InterferenceState",
+                          ) -> Tuple[DiagnosticReport, Dict[str, float]]:
+    """Hold an interference run's ledger to the pure plan replay.
+
+    The contract has two halves:
+
+    * **exactness** — the plan-space (pre-IOT-remap) bank accesses,
+      atomics, and total message count the engine charged must equal
+      :func:`~repro.interfere.plan.predict_host_injection` replayed for
+      the same plan over the same number of host epochs, within
+      :data:`HOST_INJECTION_RTOL`;
+    * **conservation** — re-homing moves injected mass between banks but
+      never creates or destroys it, so the post-remap totals must equal
+      the plan-space totals.
+
+    Emits INT006 (error severity: a broken injection model invalidates
+    every slowdown it produced) per violated half.  Returns the report
+    plus the residuals for CLI/report surfacing.
+    """
+    from repro.interfere.plan import predict_host_injection
+
+    report = DiagnosticReport()
+    nb = int(state.injected_raw_accesses.size)
+    pred = predict_host_injection(state.plan, state.epoch_index, nb)
+
+    def _residual(actual: np.ndarray, expected: np.ndarray) -> float:
+        scale = max(float(np.abs(expected).max(initial=0.0)), 1.0)
+        return float(np.abs(actual - expected).max(initial=0.0)) / scale
+
+    acc_res = _residual(state.injected_raw_accesses,
+                        np.asarray(pred["bank_accesses"]))
+    atom_res = _residual(state.injected_raw_atomics,
+                         np.asarray(pred["bank_atomics"]))
+    msg_expected = float(pred["messages"])
+    msg_res = (abs(state.injected_messages - msg_expected)
+               / max(abs(msg_expected), 1.0))
+    for label, res in (("bank accesses", acc_res), ("bank atomics", atom_res),
+                       ("messages", msg_res)):
+        if res > HOST_INJECTION_RTOL:
+            report.add(Diagnostic(
+                "INT006", Severity.ERROR,
+                Site("interference", state.task or "run"),
+                f"injected host {label} diverge from the pure plan replay "
+                f"by relative residual {res:.3e} "
+                f"(tolerance {HOST_INJECTION_RTOL:.0e}) over "
+                f"{state.epoch_index} host epoch(s)",
+                fix_hint="the engine and predict_host_injection disagree "
+                         "about the stream algebra; fix whichever changed"))
+    acc_cons = (abs(float(state.injected_bank_accesses.sum())
+                    - float(state.injected_raw_accesses.sum()))
+                / max(float(state.injected_raw_accesses.sum()), 1.0))
+    atom_cons = (abs(float(state.injected_bank_atomics.sum())
+                     - float(state.injected_raw_atomics.sum()))
+                 / max(float(state.injected_raw_atomics.sum()), 1.0))
+    for label, res in (("accesses", acc_cons), ("atomics", atom_cons)):
+        if res > HOST_INJECTION_RTOL:
+            report.add(Diagnostic(
+                "INT006", Severity.ERROR,
+                Site("interference", state.task or "run"),
+                f"bank re-homing failed to conserve injected {label} "
+                f"(relative residual {res:.3e})",
+                fix_hint="remap_banks must permute targets, never drop "
+                         "or duplicate them"))
+    residuals = {"accesses": acc_res, "atomics": atom_res,
+                 "messages": msg_res, "conservation_accesses": acc_cons,
+                 "conservation_atomics": atom_cons}
+    return report, residuals

@@ -56,7 +56,7 @@ __all__ = ["selfcheck_source", "selfcheck_paths", "FEATURE_ATTRS",
            "CACHE_PARAM_ALLOWLIST"]
 
 #: Machine attributes that are None on the clean path (see machine.py).
-FEATURE_ATTRS = frozenset({"faults", "relayout", "tracer"})
+FEATURE_ATTRS = frozenset({"faults", "relayout", "tracer", "interference"})
 
 #: Parameters that deliberately never enter a cache key: cache plumbing
 #: itself, UI callbacks, and worker-crash injection (which only kills

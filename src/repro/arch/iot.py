@@ -179,6 +179,21 @@ class InterleaveOverrideTable:
         """The active remap vector (read-only view), or None when healthy."""
         return None if self._remap is None else self._remap.copy()
 
+    def remap_banks(self, banks: np.ndarray) -> np.ndarray:
+        """Apply the active bank remap to explicit bank ids.
+
+        Identity when healthy.  The host-interference engine routes its
+        plan's bank targets through this so injected host traffic follows
+        chaos re-homes exactly like NDC traffic does (addresses take the
+        same remap inside :meth:`banks`).
+        """
+        banks = np.asarray(banks, dtype=np.int64)
+        if banks.size and (banks.min() < 0 or banks.max() >= self.num_banks):
+            raise ValueError("bank ids out of range")
+        if self._remap is None:
+            return banks
+        return self._remap[banks]
+
     # ------------------------------------------------------------------
     # Migration overrides (online re-layout)
     # ------------------------------------------------------------------

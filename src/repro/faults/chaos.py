@@ -26,10 +26,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.diagnostics import WorkerCrashError
 from repro.faults.injector import fault_session
 from repro.faults.log import FaultEventLog, FaultRecord
 from repro.faults.plan import FaultKind, FaultPlan
+
+if TYPE_CHECKING:
+    from repro.interfere.plan import HostTrafficPlan
 
 __all__ = ["ChaosReport", "run_chaos", "cli"]
 
@@ -44,12 +49,23 @@ _MAX_TASK_RESTARTS = 3
 # Worker
 # ----------------------------------------------------------------------
 def _chaos_task(name: str, mode_name: str, scale: float, seed: int,
-                plan_json: str, crash: bool) -> Dict:
+                plan_json: str, crash: bool,
+                interfere_json: Optional[str] = None) -> Dict:
     """One workload's clean + faulted pair (runs in this or a worker
     process).  Returns plain data only, so results pickle and merge
-    identically whatever the process layout."""
+    identically whatever the process layout.
+
+    ``interfere_json`` (a serialized
+    :class:`~repro.interfere.plan.HostTrafficPlan`) composes host
+    contention into the *faulted* arm only — the question chaos answers
+    is "how gracefully does the system degrade", and the clean arm is
+    the yardstick.  The row gains an ``injected_messages`` entry only
+    when interference is active, so plain chaos reports (and their
+    goldens) stay byte-identical."""
     if crash:
         raise WorkerCrashError(name)
+    from contextlib import ExitStack
+
     from repro.nsc.engine import EngineMode
     from repro.workloads.base import run_workload
 
@@ -60,18 +76,29 @@ def _chaos_task(name: str, mode_name: str, scale: float, seed: int,
 
     clean = run_workload(name, mode, scale=scale, seed=seed)
     log = FaultEventLog()
-    with fault_session(plan, log, task=name) as session:
+    with ExitStack() as stack:
+        interference = None
+        if interfere_json is not None:
+            from repro.interfere.engine import interfere_session
+            from repro.interfere.plan import HostTrafficPlan
+            interference = stack.enter_context(interfere_session(
+                HostTrafficPlan.from_json(interfere_json), task=name))
+        session = stack.enter_context(fault_session(plan, log, task=name))
         faulted = run_workload(name, mode, scale=scale, seed=seed)
         session.finalize()
         retries = sum(s.retries for s in session.states)
         host_fb = sum(s.host_fallbacks for s in session.states)
 
-    return {"workload": name,
-            "clean": run_metrics(clean),
-            "faulted": run_metrics(faulted),
-            "retries": retries,
-            "host_fallbacks": host_fb,
-            "records": [r.to_dict() for r in log.records]}
+    row = {"workload": name,
+           "clean": run_metrics(clean),
+           "faulted": run_metrics(faulted),
+           "retries": retries,
+           "host_fallbacks": host_fb,
+           "records": [r.to_dict() for r in log.records]}
+    if interference is not None:
+        row["injected_messages"] = sum(
+            s.injected_messages for s in interference.states)
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -88,18 +115,25 @@ class ChaosReport:
     rows: List[Dict] = field(default_factory=list)
     log: FaultEventLog = field(default_factory=FaultEventLog)
     restarts: Dict[str, int] = field(default_factory=dict)
+    #: Host-traffic plan composed into the faulted arms, if any.  Joins
+    #: the payload only when set, so plain chaos reports keep their
+    #: pre-interference bytes.
+    interfere: Optional["HostTrafficPlan"] = None
 
     @property
     def unhandled_count(self) -> int:
         return self.log.count("unhandled")
 
     def to_dict(self) -> Dict:
-        return {"plan": json.loads(self.plan.to_json()),
-                "mode": self.mode, "scale": self.scale, "seed": self.seed,
-                "rows": self.rows,
-                "restarts": dict(sorted(self.restarts.items())),
-                "handled_faults": self.log.handled_count(),
-                "unhandled_faults": self.unhandled_count}
+        payload = {"plan": json.loads(self.plan.to_json()),
+                   "mode": self.mode, "scale": self.scale, "seed": self.seed,
+                   "rows": self.rows,
+                   "restarts": dict(sorted(self.restarts.items())),
+                   "handled_faults": self.log.handled_count(),
+                   "unhandled_faults": self.unhandled_count}
+        if self.interfere is not None:
+            payload["interfere"] = json.loads(self.interfere.to_json())
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
@@ -108,16 +142,22 @@ class ChaosReport:
         from repro.harness.report import ascii_table, ratio, section
         headers = ["workload", "slowdown", "extra hops", "locality clean",
                    "locality faulted", "retries", "host-fb", "restarts"]
+        contended = self.interfere is not None
+        if contended:
+            headers.append("inj msgs")
         table_rows = []
         for row in self.rows:
             c, f = row["clean"], row["faulted"]
             slowdown = ratio(f["cycles"], c["cycles"])
-            table_rows.append([
+            cells = [
                 row["workload"], f"{slowdown:.2f}x",
                 f"{f['flit_hops'] - c['flit_hops']:.0f}",
                 f"{c['locality']:.3f}", f"{f['locality']:.3f}",
                 row["retries"], row["host_fallbacks"],
-                self.restarts.get(row["workload"], 0)])
+                self.restarts.get(row["workload"], 0)]
+            if contended:
+                cells.append(f"{row.get('injected_messages', 0.0):.0f}")
+            table_rows.append(cells)
         lines = [str(self.plan), "",
                  section("Degradation report",
                          ascii_table(headers, table_rows)), "",
@@ -133,15 +173,23 @@ class ChaosReport:
 def run_chaos(workloads: Sequence[str], plan: FaultPlan,
               mode: str = "AFF_ALLOC", scale: float = 0.05, seed: int = 0,
               jobs: int = 1,
-              progress: Optional[Callable[[str], None]] = None) -> ChaosReport:
+              progress: Optional[Callable[[str], None]] = None,
+              interfere: Optional["HostTrafficPlan"] = None) -> ChaosReport:
     """Run clean-vs-faulted pairs for every workload under one plan.
 
     WORKER_CRASH events are consumed here (budget mapped over the
     workload list by ordinal); all other events ride into the workers
     via the serialized plan and apply inside each task's fault session.
+    ``interfere`` additionally composes a host-traffic plan into every
+    faulted arm (see :func:`_chaos_task`); ``None`` — or an *empty*
+    plan, which attaches nothing — leaves the report byte-identical to
+    a plain chaos run.
     """
     notify = progress or (lambda line: None)
     plan_json = plan.to_json()
+    interfere_json: Optional[str] = None
+    if interfere is not None and not interfere.is_empty:
+        interfere_json = interfere.to_json()
     crashes = plan.crash_budget(list(workloads))
     jobs = max(1, int(jobs))
 
@@ -167,14 +215,16 @@ def run_chaos(workloads: Sequence[str], plan: FaultPlan,
         for name in workloads:
             results[name] = _attempt_loop(
                 lambda c, n=name: _chaos_task(n, mode, scale, seed,
-                                              plan_json, c), name)
+                                              plan_json, c, interfere_json),
+                name)
             notify(f"[done] {name}")
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(workloads))) as pool:
             remaining = dict(crashes)
             attempts: Dict[str, int] = {}
             futs = {pool.submit(_chaos_task, name, mode, scale, seed,
-                                plan_json, remaining.get(name, 0) > 0): name
+                                plan_json, remaining.get(name, 0) > 0,
+                                interfere_json): name
                     for name in workloads}
             while futs:
                 fut = next(as_completed(futs))
@@ -191,7 +241,8 @@ def run_chaos(workloads: Sequence[str], plan: FaultPlan,
                            f"restart {attempts[name]}/{_MAX_TASK_RESTARTS}")
                     futs[pool.submit(_chaos_task, name, mode, scale, seed,
                                      plan_json,
-                                     remaining.get(name, 0) > 0)] = name
+                                     remaining.get(name, 0) > 0,
+                                     interfere_json)] = name
                     continue
                 notify(f"[done] {name}")
 
@@ -210,10 +261,14 @@ def run_chaos(workloads: Sequence[str], plan: FaultPlan,
                                 detail="harness restarted the worker"))
         for rec in r["records"]:
             log.add(FaultRecord.from_dict(rec))
-        rows.append({k: r[k] for k in ("workload", "clean", "faulted",
-                                       "retries", "host_fallbacks")})
+        keys = ("workload", "clean", "faulted", "retries", "host_fallbacks")
+        row = {k: r[k] for k in keys}
+        if "injected_messages" in r:
+            row["injected_messages"] = r["injected_messages"]
+        rows.append(row)
     return ChaosReport(plan=plan, mode=mode, scale=scale, seed=seed,
-                       rows=rows, log=log, restarts=restarts)
+                       rows=rows, log=log, restarts=restarts,
+                       interfere=interfere if interfere_json else None)
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +284,10 @@ def cli(argv: Optional[List[str]] = None) -> int:
                              f"{', '.join(DEFAULT_WORKLOADS)})")
     parser.add_argument("--plan", type=Path, default=None,
                         help="JSON fault plan file (overrides --seed/--rate)")
+    parser.add_argument("--interfere", type=Path, default=None,
+                        help="JSON host-traffic plan to compose into the "
+                             "faulted arms (see 'python -m repro interfere "
+                             "--save-plan')")
     parser.add_argument("--seed", type=int, default=0,
                         help="plan-generation / run seed (default 0)")
     parser.add_argument("--rate", type=float, default=0.05,
@@ -253,13 +312,27 @@ def cli(argv: Optional[List[str]] = None) -> int:
     if bad:
         parser.error(f"unknown workload(s): {', '.join(bad)}; "
                      f"try 'python -m repro list'")
+    # Unreadable/invalid plan files are *usage* errors (exit 2, argparse
+    # convention), not check failures — parser.error both halves.
     if args.plan is not None:
-        plan = FaultPlan.load(args.plan)
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load fault plan {args.plan}: {exc}")
     else:
         plan = FaultPlan.generate(args.seed, args.rate, tasks=len(workloads))
+    interfere = None
+    if args.interfere is not None:
+        from repro.interfere.plan import HostTrafficPlan
+        try:
+            interfere = HostTrafficPlan.load(args.interfere)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load host-traffic plan "
+                         f"{args.interfere}: {exc}")
 
     report = run_chaos(workloads, plan, mode=args.mode, scale=args.scale,
-                       seed=args.seed, jobs=args.jobs, progress=print)
+                       seed=args.seed, jobs=args.jobs, progress=print,
+                       interfere=interfere)
     print(report.render())
     if args.save_log is not None:
         report.log.save(args.save_log)

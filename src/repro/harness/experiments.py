@@ -40,6 +40,7 @@ __all__ = [
     "ablation_pool_granularity",
     "ablation_codesign",
     "fig_relayout",
+    "fig_interfere",
 ]
 
 FIG12_WORKLOADS = ("pathfinder", "hotspot", "srad", "hotspot3D", "pr_push",
@@ -534,4 +535,51 @@ def fig_relayout(scenarios: Optional[Sequence[str]] = None,
             row["migrations"], row["moved_bytes"] / 1024.0,
             row["static"]["locality"],
             post if post is not None else row["online"]["locality"]])
+    return res
+
+
+# ----------------------------------------------------------------------
+# Interfere — concurrent-host contention sweep
+# ----------------------------------------------------------------------
+def fig_interfere(workloads: Optional[Sequence[str]] = None,
+                  factors: Optional[Sequence[float]] = None,
+                  scale: float = 0.05,
+                  seed: int = 0) -> SweepResult:
+    """Clean vs host-contended runs across an intensity sweep.
+
+    Each row is one (workload, intensity factor) arm: the clean cycles,
+    the contended cycles under :func:`HostTrafficPlan.generate(seed)
+    <repro.interfere.plan.HostTrafficPlan.generate>` scaled by the
+    factor, the resulting slowdown, the injected host message count,
+    and the INT006 injection-model verification verdict.  Under
+    ``AFF_ALLOC`` the per-workload recovery arm (contention composed
+    with online re-layout at the top factor) appends one extra row.
+    """
+    from repro.interfere.cli import DEFAULT_FACTORS, run_interfere
+    from repro.interfere.plan import HostTrafficPlan
+    plan = HostTrafficPlan.generate(seed)
+    names = tuple(workloads or ("vecadd", "hash_join_skew", "spmv_gather"))
+    report = run_interfere(names, plan, mode="AFF_ALLOC", scale=scale,
+                           seed=seed, factors=tuple(factors or
+                                                    DEFAULT_FACTORS),
+                           jobs=1)
+    res = SweepResult(
+        "Interfere: Slowdown Under Concurrent-Host Traffic",
+        ["workload", "arm", "clean_cycles", "contended_cycles", "slowdown",
+         "host_messages", "int006_ok"],
+        raw={"report": report},
+    )
+    for row in report.rows:
+        for arm in row["arms"]:
+            res.data.append([
+                row["workload"], f"x{arm['factor']:g}",
+                row["clean"]["cycles"], arm["metrics"]["cycles"],
+                arm["slowdown"], arm["host"].get("messages", 0.0),
+                not arm["int006_findings"]])
+        rec = row["recovery"]
+        if rec is not None:
+            res.data.append([
+                row["workload"], f"x{rec['factor']:g}+relayout",
+                row["clean"]["cycles"], rec["metrics"]["cycles"],
+                rec["recovered"], float(rec["migrations"]), True])
     return res

@@ -76,6 +76,8 @@ EXPERIMENTS: Dict[str, Callable[[float, int], object]] = {
     "abl_codesign": lambda scale, seed: exp.ablation_codesign(scale=scale,
                                                               seed=seed),
     "relayout": lambda scale, seed: exp.fig_relayout(scale=scale, seed=seed),
+    "interfere": lambda scale, seed: exp.fig_interfere(scale=scale / 2,
+                                                       seed=seed),
     "table1": lambda scale, seed: tables.table1_iot_format(),
     "table2": lambda scale, seed: tables.table2_system_parameters(),
     "table3": lambda scale, seed: tables.table3_workloads(),
@@ -115,7 +117,7 @@ def _config_fingerprint() -> str:
 # ----------------------------------------------------------------------
 def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
              cache_dir: Optional[str], crash: bool = False,
-             relayout=None, trace=None) -> Dict:
+             relayout=None, trace=None, interfere=None) -> Dict:
     """Run one experiment (in this or a worker process) → plain dict.
 
     Figure-level results are cached post-sanitization under a key derived
@@ -138,6 +140,13 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
     / None-is-byte-identical contract as ``relayout``.  (Cache hits skip
     execution, so a hit produces no trace events — ``python -m repro
     trace`` runs workloads directly when events are the point.)
+
+    ``interfere`` (a :class:`repro.interfere.plan.HostTrafficPlan`) runs
+    the experiment inside an interference session, so a simulated host
+    contends for the same banks and links.  The plan digest joins the
+    cache key only for *non-empty* plans; an empty plan attaches nothing,
+    shares the clean cache entry, and leaves every byte identical to a
+    plain run — the property ``tests/test_interfere_properties.py`` pins.
     """
     if crash:
         from repro.analysis.diagnostics import WorkerCrashError
@@ -152,6 +161,8 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
         key_fields["relayout"] = relayout.digest()
     if trace is not None:
         key_fields["trace"] = trace.digest()
+    if interfere is not None and not interfere.is_empty:
+        key_fields["interfere"] = interfere.digest()
     key = cache_key("experiment", **key_fields)
     payload = cache.get_json(key) if use_cache else None
     from_cache = payload is not None
@@ -165,6 +176,9 @@ def _run_one(fid: str, scale: float, seed: int, use_cache: bool,
             if trace is not None:
                 from repro.obs.tracer import trace_session
                 stack.enter_context(trace_session(trace, task=fid))
+            if interfere is not None and not interfere.is_empty:
+                from repro.interfere.engine import interfere_session
+                stack.enter_context(interfere_session(interfere, task=fid))
             if use_cache:
                 result = fn(scale, seed)
             else:
@@ -286,7 +300,8 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 results_dir: Optional[os.PathLike] = None,
                 preflight: bool = True,
                 progress: Optional[Callable[[str], None]] = None,
-                fault_plan=None, relayout=None, trace=None) -> RunReport:
+                fault_plan=None, relayout=None, trace=None,
+                interfere=None) -> RunReport:
     """Run experiments by id, optionally fanned across a process pool.
 
     Args:
@@ -326,6 +341,12 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             joins each figure's cache key (traced and plain runs never
             share entries) while the results filename — and, with
             ``trace=None``, every byte of the run — is unchanged.
+        interfere: optional :class:`repro.interfere.plan.HostTrafficPlan`.
+            Every experiment runs against this simulated concurrent host;
+            non-empty plan digests join each figure's cache key.  An
+            empty (or None) plan attaches nothing and leaves every byte
+            of the run — metrics JSON, results filename, cache entries —
+            identical to a plain run.
 
     Returns:
         A :class:`RunReport`; ``report.figures`` preserves ``ids`` order
@@ -361,7 +382,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                 try:
                     r = _run_one(fid, scale, seed, use_cache, None,
                                  crash=remaining > 0, relayout=relayout,
-                                 trace=trace)
+                                 trace=trace, interfere=interfere)
                 except WorkerCrashError:
                     remaining -= 1
                     attempt += 1
@@ -380,7 +401,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
             attempts: Dict[str, int] = {}
             futs = {pool.submit(_run_one, fid, scale, seed, use_cache,
                                 cache_dir, remaining.get(fid, 0) > 0,
-                                relayout, trace): fid
+                                relayout, trace, interfere): fid
                     for fid in ids}
             completed = 0
             while futs:
@@ -397,7 +418,7 @@ def run_figures(ids: Sequence[str], jobs: int = 1, scale: float = 0.12,
                     futs[pool.submit(_run_one, fid, scale, seed, use_cache,
                                      cache_dir,
                                      remaining.get(fid, 0) > 0,
-                                     relayout, trace)] = fid
+                                     relayout, trace, interfere)] = fid
                     continue
                 done[r["id"]] = r
                 completed += 1

@@ -105,6 +105,13 @@ class Machine:
         # exact original instruction stream.
         self.tracer = None
 
+        # Concurrent-host interference: populated by
+        # InterferenceSession.attach (see repro.interfere.engine); None
+        # on the uncontended path — including under an *empty* plan,
+        # which attaches nothing — and every hook is gated on that None
+        # so clean runs execute the exact original instruction stream.
+        self.interference = None
+
     # ------------------------------------------------------------------
     @property
     def num_banks(self) -> int:

@@ -53,7 +53,7 @@ __all__ = ["run_benches", "write_bench_json", "compare_bench",
 
 SCHEMA_VERSION = 1
 BENCH_NAMES = ("noc", "translate", "iot", "fig12", "relayout", "alloc",
-               "fig12_full")
+               "interfere", "fig12_full")
 
 # Full-mode / smoke-mode problem sizes.
 _FULL = {
@@ -61,6 +61,7 @@ _FULL = {
     "record_batches": 200, "fig12_scale": 0.06, "fig12_seed": 0,
     "relayout_scale": 1.0, "decide_arrays": 512,
     "alloc_n": 20_000, "alloc_meshes": ((8, 8), (16, 16), (32, 32)),
+    "interfere_scale": 0.1,
     "fig12_full_scale": 1.0,
 }
 _SMOKE = {
@@ -68,6 +69,7 @@ _SMOKE = {
     "record_batches": 50, "fig12_scale": 0.015, "fig12_seed": 0,
     "relayout_scale": 0.25, "decide_arrays": 128,
     "alloc_n": 2_000, "alloc_meshes": ((8, 8), (16, 16)),
+    "interfere_scale": 0.05,
     "fig12_full_scale": 0.25,
 }
 
@@ -396,6 +398,42 @@ def _bench_relayout(sizes: dict) -> Dict[str, dict]:
     return metrics
 
 
+def _bench_interfere(sizes: dict) -> Dict[str, dict]:
+    """Host-interference engine: end-to-end sweep cost + pinned slowdown.
+
+    ``interfere_end_to_end`` tracks the wall cost of a two-factor
+    contention sweep over vecadd.  ``interfere_slowdown_vecadd`` is the
+    machine-*independent* number CI gates on: its ``seconds`` /
+    ``reference_seconds`` pair holds *simulated cycles* (clean vs
+    contended at the top factor), so the recorded ``speedup`` is the
+    deterministic slowdown ratio — identical on any machine, and a drift
+    in it means the injection physics changed, not the hardware."""
+    from repro.interfere.cli import run_interfere
+    from repro.interfere.plan import HostTrafficPlan
+
+    scale = sizes["interfere_scale"]
+    seed = sizes.get("interfere_seed", 0)
+    factors = (1.0, 4.0)
+    plan = HostTrafficPlan.generate(seed)
+    params = {"scale": scale, "seed": seed, "factors": list(factors)}
+
+    t0 = time.perf_counter()
+    report = run_interfere(("vecadd",), plan, mode="AFF_ALLOC", scale=scale,
+                           seed=seed, factors=factors)
+    sec = time.perf_counter() - t0
+    metrics = {"interfere_end_to_end": _metric(sec, 1, params)}
+
+    row = report.rows[0]
+    top = max(row["arms"], key=lambda a: a["factor"])
+    clean_cycles = float(row["clean"]["cycles"])
+    contended_cycles = float(top["metrics"]["cycles"])
+    metrics["interfere_slowdown_vecadd"] = _metric(
+        clean_cycles, 1,
+        {**params, "workload": "vecadd", "unit": "sim-cycles"},
+        contended_cycles)
+    return metrics
+
+
 _BENCHES = {
     "noc": _bench_noc,
     "translate": _bench_translate,
@@ -403,6 +441,7 @@ _BENCHES = {
     "fig12": _bench_fig12,
     "relayout": _bench_relayout,
     "alloc": _bench_alloc,
+    "interfere": _bench_interfere,
     "fig12_full": _bench_fig12_full,
 }
 
@@ -445,6 +484,7 @@ def run_benches(names, smoke: bool = False,
     sizes = dict(_SMOKE if smoke else _FULL)
     sizes["fig12_seed"] = int(seed)
     sizes["relayout_seed"] = int(seed)
+    sizes["interfere_seed"] = int(seed)
     out = {}
     for name in names:
         if name not in _BENCHES:

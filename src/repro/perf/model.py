@@ -187,6 +187,14 @@ class PerfModel:
             phase_resources=phase_resources,
             env=dict(_kernels.backend_info()),
         )
+        interference = machine.interference
+        if interference is not None:
+            # Surface the injected host load so reports/goldens can pin
+            # it; absent on clean runs, keeping their counters dict (and
+            # serialized results) byte-identical.
+            result.counters["host_injected_messages"] = float(
+                interference.injected_messages)
+            result.counters["host_epochs"] = float(interference.epoch_index)
         tracer = machine.tracer
         if tracer is not None:
             tracer.on_run_end(result, recorder)

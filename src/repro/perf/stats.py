@@ -141,6 +141,12 @@ class RunRecorder:
 
     def end_phase(self, label: str) -> PhaseStats:
         """Close the current phase, recording deltas since the last mark."""
+        interference = self.machine.interference
+        if interference is not None:
+            # One host epoch per NDC phase, injected *before* the
+            # snapshot so the host's messages land inside this phase and
+            # the perf model prices the contention into its bottlenecks.
+            interference.on_epoch(self, label)
         now = self._snapshot()
         prev = self._mark
         phase = PhaseStats(

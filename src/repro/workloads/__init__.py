@@ -20,6 +20,7 @@ from repro.workloads import affine_kernels as _affine
 from repro.workloads import graph_kernels as _graph
 from repro.workloads import pointer_kernels as _pointer
 from repro.workloads import phase_flip as _phase_flip
+from repro.workloads import adversarial as _adversarial
 
 __all__ = [
     "EngineMode",

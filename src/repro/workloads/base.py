@@ -22,6 +22,7 @@ from repro.core.api import AffineArray, ArrayHandle, alloc_plain_array
 from repro.core.policy import BankSelectPolicy, HybridPolicy
 from repro.core.runtime import AffinityAllocator
 from repro.faults.injector import active_fault_session
+from repro.interfere.engine import active_interference_session
 from repro.machine import Machine
 from repro.obs.tracer import active_trace_session
 from repro.relayout.engine import active_relayout_session
@@ -125,6 +126,13 @@ def make_context(mode: EngineMode, config: SystemConfig = DEFAULT_CONFIG,
         # inactive session (cfg=None) no-ops, keeping untraced runs
         # byte-identical.
         trace.attach(machine)
+    interference = active_interference_session()
+    if interference is not None:
+        # Concurrent-host interference: attaches an InterferenceState
+        # (machine.interference) whose host epochs fire at every
+        # end_phase; an empty plan no-ops, keeping uncontended runs
+        # byte-identical.
+        interference.attach(machine)
     recorder = RunRecorder(machine)
     executor = StreamExecutor(machine, recorder, mode)
     allocator = None
